@@ -1,0 +1,118 @@
+// Command mdsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mdsim -list
+//	mdsim -exp table1
+//	mdsim -exp fig5 -scale 0.25
+//	mdsim -exp all
+//
+// Each experiment builds fresh simulated systems (CPU, disk, driver, cache,
+// file system) for every configuration it compares, runs the paper's
+// workload in deterministic virtual time, and prints the corresponding
+// table. -scale shrinks workload sizes for quicker runs; shapes are stable
+// well below 1.0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"metaupdate/fsim"
+	"metaupdate/internal/harness"
+	"metaupdate/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-sized)")
+	list := flag.Bool("list", false, "list available experiments")
+	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram)")
+	csvPath := flag.String("csv", "", "with -trace: also write the raw per-request trace as CSV to this file")
+	flag.Parse()
+
+	if *traceScheme != "" {
+		if err := runTrace(*traceScheme, harness.Scale(*scale), *csvPath); err != nil {
+			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, name := range harness.ExperimentNames {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("  all")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := harness.DefaultConfig(os.Stdout)
+	cfg.Scale = harness.Scale(*scale)
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = harness.ExperimentNames
+	}
+	for _, name := range names {
+		run, ok := harness.Experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mdsim: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		for _, t := range run(cfg) {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("\n[%s completed in %.1fs of real time]\n", name, time.Since(start).Seconds())
+	}
+}
+
+// runTrace reproduces the paper's measurement methodology on demand: run
+// the 4-user copy benchmark under one scheme with the driver instrumented,
+// then analyze the per-request queue and service delays.
+func runTrace(schemeName string, scale harness.Scale, csvPath string) error {
+	var scheme fsim.Scheme
+	switch strings.ToLower(schemeName) {
+	case "conventional":
+		scheme = fsim.Conventional
+	case "flag":
+		scheme = fsim.SchedulerFlag
+	case "chains":
+		scheme = fsim.SchedulerChains
+	case "softupdates", "soft":
+		scheme = fsim.SoftUpdates
+	case "noorder":
+		scheme = fsim.NoOrder
+	case "nvram":
+		scheme = fsim.NVRAM
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+	stats, elapsed := harness.TraceCopy(fsim.Options{Scheme: scheme}, 4, scale)
+	fmt.Printf("4-user copy under %s: mean per-user elapsed %.1fs\n\n", scheme, elapsed.Seconds())
+	trace.Analyze(stats).Fprint(os.Stdout)
+	fmt.Println()
+	trace.ServiceHistogram(stats).Fprint(os.Stdout, "disk access time")
+	fmt.Println()
+	trace.ResponseHistogram(stats).Fprint(os.Stdout, "driver response time")
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, stats); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d rows to %s\n", len(stats), csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+// Package fsim is the public API of the metaupdate library: it assembles a
+// complete simulated system — CPU, HP C2447-class disk, device driver with
+// the selected scheduler-ordering mode, buffer cache with syncer daemon,
+// and the FFS-like file system mounted with one of the paper's five
+// metadata update schemes — and runs workloads against it in deterministic
+// virtual time.
+//
+// Quick start:
+//
+//	sys, err := fsim.New(fsim.Options{Scheme: fsim.SoftUpdates})
+//	...
+//	elapsed := sys.Run(func(p *fsim.Proc) {
+//	    ino, _ := sys.FS.Create(p, fsim.RootIno, "hello")
+//	    sys.FS.WriteAt(p, ino, 0, []byte("world"))
+//	    sys.FS.Sync(p)
+//	})
+//
+// Everything runs in virtual time; results are bit-for-bit reproducible.
+package fsim
+
+import (
+	"fmt"
+
+	"metaupdate/internal/cache"
+	"metaupdate/internal/core"
+	"metaupdate/internal/dev"
+	"metaupdate/internal/disk"
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/nvram"
+	"metaupdate/internal/ordering"
+	"metaupdate/internal/sim"
+)
+
+// Re-exported core types, so most callers need only this package.
+type (
+	// Proc is a simulated process.
+	Proc = sim.Proc
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+	// Ino is an inode number.
+	Ino = ffs.Ino
+	// Dirent is a directory entry.
+	Dirent = ffs.Dirent
+	// Inode is a decoded inode.
+	Inode = ffs.Inode
+)
+
+// RootIno is the root directory.
+const RootIno = ffs.RootIno
+
+// Convenient duration units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Scheme selects a metadata update ordering implementation.
+type Scheme int
+
+// The five schemes of the paper's performance comparison (section 5).
+const (
+	NoOrder Scheme = iota
+	Conventional
+	SchedulerFlag
+	SchedulerChains
+	SoftUpdates
+	// NVRAM is the section 7 extension: delayed writes everywhere, with
+	// the ordering-relevant states journaled to battery-backed RAM and
+	// replayed over the media after a crash.
+	NVRAM
+)
+
+// Schemes lists all five in the paper's presentation order.
+var Schemes = []Scheme{Conventional, SchedulerFlag, SchedulerChains, SoftUpdates, NoOrder}
+
+func (s Scheme) String() string {
+	switch s {
+	case NoOrder:
+		return "No Order"
+	case Conventional:
+		return "Conventional"
+	case SchedulerFlag:
+		return "Scheduler Flag"
+	case SchedulerChains:
+		return "Scheduler Chains"
+	case SoftUpdates:
+		return "Soft Updates"
+	case NVRAM:
+		return "NVRAM"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// FlagSemantics re-exports the driver's ordering-flag semantics.
+type FlagSemantics = dev.FlagSemantics
+
+// Ordering-flag semantics (section 3.1).
+const (
+	SemFull = dev.SemFull
+	SemBack = dev.SemBack
+	SemPart = dev.SemPart
+)
+
+// Options configures a System. The zero value (plus a Scheme) reproduces
+// the paper's configuration: Part-NR/CB for the scheduler schemes,
+// allocation initialization for soft updates only.
+type Options struct {
+	Scheme Scheme
+
+	// Flag-scheme knobs (section 3.1/3.3). Defaults: SemPart, NR and CB
+	// both set (the Part-NR/CB configuration used in section 5). Set
+	// Explicit to take the zero values literally instead.
+	Sem      FlagSemantics
+	NR       bool
+	CB       bool
+	Explicit bool
+
+	// AllocInit enforces allocation initialization for regular file data.
+	// Default (when !Explicit): true only for SoftUpdates, matching the
+	// paper's figures.
+	AllocInit bool
+
+	// BarrierFrees selects the chains scheme's simpler de-allocation
+	// fallback (the section 3.2 ablation).
+	BarrierFrees bool
+
+	// IgnoreOrdering makes the driver ignore the flag/chain information the
+	// file system supplies (the paper's "Ignore" comparison point — same
+	// write pattern, free re-ordering, no integrity).
+	IgnoreOrdering bool
+
+	// Sizes; zero values pick paper-scaled defaults.
+	DiskBytes  int64 // materialized media (default 384 MB)
+	FSBytes    int64 // formatted size (default DiskBytes)
+	NInodes    uint32
+	CacheBytes int // buffer cache (default 32 MB)
+
+	// NVRAMBytes sizes the NVRAM log for Scheme == NVRAM (default 1 MB).
+	NVRAMBytes int
+
+	SyncerFraction int // cache sweeps per full pass (default 30)
+	Costs          ffs.Costs
+	DiskParams     *disk.Params
+}
+
+func (o *Options) setDefaults() {
+	if !o.Explicit {
+		switch o.Scheme {
+		case SchedulerFlag:
+			o.Sem, o.NR, o.CB = dev.SemPart, true, true
+		case SchedulerChains:
+			o.CB = true
+		case SoftUpdates:
+			o.AllocInit = true
+		}
+	}
+	if o.DiskBytes == 0 {
+		o.DiskBytes = 384 << 20
+	}
+	if o.FSBytes == 0 {
+		o.FSBytes = o.DiskBytes
+	}
+	if o.NInodes == 0 {
+		o.NInodes = 16384
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 24 << 20
+	}
+	if o.DiskParams == nil {
+		p := disk.HPC2447()
+		o.DiskParams = &p
+	}
+}
+
+// System is a fully assembled simulated machine with a mounted file system.
+type System struct {
+	Opt    Options
+	Eng    *sim.Engine
+	CPU    *sim.CPU
+	Disk   *disk.Disk
+	Driver *dev.Driver
+	Cache  *cache.Cache
+	FS     *ffs.FS
+	Soft   *core.SoftUpdates // non-nil when Scheme == SoftUpdates
+	NV     *nvram.Scheme     // non-nil when Scheme == NVRAM
+
+	statsStart sim.Time
+}
+
+// New formats a fresh file system and mounts it under the selected scheme.
+func New(opt Options) (*System, error) {
+	opt.setDefaults()
+
+	var ord ffs.Ordering
+	dcfg := dev.Config{Mode: dev.ModeIgnore}
+	var soft *core.SoftUpdates
+	var nvs *nvram.Scheme
+	switch opt.Scheme {
+	case NoOrder:
+		ord = ordering.NewNoOrder()
+	case Conventional:
+		ord = ordering.NewConventional()
+	case SchedulerFlag:
+		ord = ordering.NewFlag()
+		dcfg = dev.Config{Mode: dev.ModeFlag, Sem: opt.Sem, NR: opt.NR}
+		if opt.IgnoreOrdering {
+			dcfg = dev.Config{Mode: dev.ModeIgnore}
+		}
+	case SchedulerChains:
+		ch := ordering.NewChains()
+		ch.BarrierFrees = opt.BarrierFrees
+		ord = ch
+		dcfg = dev.Config{Mode: dev.ModeChains}
+		if opt.IgnoreOrdering {
+			dcfg = dev.Config{Mode: dev.ModeIgnore}
+		}
+	case SoftUpdates:
+		// Soft updates substitutes rolled-back copies as write sources
+		// itself; the -CB machinery's concurrent per-buffer snapshots
+		// would break its covered-update tracking, so it is forced off.
+		opt.CB = false
+		soft = core.New()
+		ord = soft
+	case NVRAM:
+		nvs = nvram.New(nvram.NewLog(opt.NVRAMBytes))
+		ord = nvs
+	default:
+		return nil, fmt.Errorf("fsim: unknown scheme %v", opt.Scheme)
+	}
+
+	eng := sim.NewEngine()
+	dsk := disk.New(*opt.DiskParams, opt.DiskBytes)
+	if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: opt.FSBytes, NInodes: opt.NInodes}); err != nil {
+		return nil, err
+	}
+	drv := dev.New(eng, dsk, dcfg)
+	cpu := &sim.CPU{}
+	c := cache.New(eng, drv, cpu, cache.Config{
+		MaxBytes:       opt.CacheBytes,
+		CB:             opt.CB,
+		SyncerFraction: opt.SyncerFraction,
+	})
+
+	sys := &System{Opt: opt, Eng: eng, CPU: cpu, Disk: dsk, Driver: drv, Cache: c, Soft: soft, NV: nvs}
+	var err error
+	eng.Spawn("mount", func(p *sim.Proc) {
+		sys.FS, err = ffs.Mount(eng, cpu, c, ord, ffs.Config{AllocInit: opt.AllocInit, Costs: opt.Costs}, p)
+	})
+	eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	c.StartSyncer()
+	return sys, nil
+}
+
+// Run executes fn as a simulated process and drives the engine until it
+// finishes (daemon processes keep running in the background). It returns
+// the virtual time fn took.
+func (s *System) Run(fn func(p *Proc)) Duration {
+	start := s.Eng.Now()
+	done := false
+	s.Eng.Spawn("main", func(p *Proc) {
+		fn(p)
+		done = true
+	})
+	s.Eng.RunWhile(func() bool { return !done })
+	return s.Eng.Now() - start
+}
+
+// RunUsers executes fn concurrently for n "users" (the paper's benchmark
+// structure) and returns each user's elapsed time plus the overall wall
+// time, all in virtual time.
+func (s *System) RunUsers(n int, fn func(p *Proc, user int)) (each []Duration, wall Duration) {
+	start := s.Eng.Now()
+	each = make([]Duration, n)
+	var wg sim.WaitGroup
+	wg.Add(n)
+	for u := 0; u < n; u++ {
+		u := u
+		s.Eng.Spawn(fmt.Sprintf("user%d", u), func(p *Proc) {
+			t0 := p.Now()
+			fn(p, u)
+			each[u] = p.Now() - t0
+			wg.Done(s.Eng)
+		})
+	}
+	done := false
+	s.Eng.Spawn("join", func(p *Proc) {
+		wg.Wait(p)
+		done = true
+	})
+	s.Eng.RunWhile(func() bool { return !done })
+	return each, s.Eng.Now() - start
+}
+
+// Shutdown stops the syncer daemon and drains the simulation so every
+// process goroutine exits. Call it when done with a System: a parked
+// daemon goroutine would otherwise retain the engine — and through it the
+// materialized disk image — for the life of the Go process. The harness
+// creates hundreds of Systems per experiment sweep, so this matters.
+func (s *System) Shutdown() {
+	s.Cache.StopSyncer()
+	s.Eng.Run() // the syncer wakes once more, observes the stop, and exits
+}
+
+// Crash freezes the system at virtual time t (which must be in the future)
+// and returns the crash-consistent media image: completed writes plus the
+// sector-exact prefix of any write in flight. The system is unusable
+// afterwards.
+func (s *System) Crash(t Time) []byte {
+	s.Eng.RunUntil(t)
+	s.Driver.Crash(t)
+	return s.Disk.Image()
+}
+
+// Stats is a snapshot of system-wide counters for an experiment window.
+type Stats struct {
+	Elapsed       Duration
+	CPUTime       Duration
+	DiskRequests  int
+	AvgServiceMS  float64 // paper's "disk access time"
+	AvgResponseMS float64 // paper's "driver response time"
+	CacheHits     int64
+	CacheMisses   int64
+}
+
+// ResetStats clears the measurement window.
+func (s *System) ResetStats() {
+	s.Driver.Trace.Reset()
+	s.CPU.Used = 0
+	s.Cache.Hits, s.Cache.Misses = 0, 0
+	s.statsStart = s.Eng.Now()
+}
+
+// CollectStats returns the counters accumulated since the last ResetStats.
+func (s *System) CollectStats() Stats {
+	return Stats{
+		Elapsed:       s.Eng.Now() - s.statsStart,
+		CPUTime:       s.CPU.Used,
+		DiskRequests:  s.Driver.Trace.Requests(),
+		AvgServiceMS:  s.Driver.Trace.AvgServiceMS(),
+		AvgResponseMS: s.Driver.Trace.AvgResponseMS(),
+		CacheHits:     s.Cache.Hits,
+		CacheMisses:   s.Cache.Misses,
+	}
+}

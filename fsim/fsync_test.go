@@ -1,0 +1,115 @@
+package fsim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"metaupdate/fsim"
+	"metaupdate/internal/ffs"
+)
+
+// allSchemes includes the five paper schemes plus the NVRAM extension.
+var allSchemes = []fsim.Scheme{
+	fsim.Conventional, fsim.SchedulerFlag, fsim.SchedulerChains,
+	fsim.SoftUpdates, fsim.NoOrder, fsim.NVRAM,
+}
+
+// onDiskInode decodes ino directly from the media image.
+func onDiskInode(sys *fsim.System, ino fsim.Ino) ffs.Inode {
+	sb := sys.FS.Superblock()
+	frag, off := sb.InodeFrag(ino)
+	return ffs.DecodeInode(sys.Disk.Image()[int64(frag)*ffs.FragSize+int64(off):])
+}
+
+// Fsync must make the file durable under every scheme: after Fsync returns,
+// the on-disk inode carries the final size and the on-disk blocks carry the
+// data, with no further flushing.
+func TestFsyncDurableUnderEveryScheme(t *testing.T) {
+	for _, scheme := range allSchemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			sys, err := fsim.New(fsim.Options{Scheme: scheme, DiskBytes: 64 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := bytes.Repeat([]byte("fsync!"), 3000) // ~18 KB, 3 blocks
+			var ino fsim.Ino
+			sys.Run(func(p *fsim.Proc) {
+				ino, err = sys.FS.Create(p, fsim.RootIno, "f")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.FS.WriteAt(p, ino, 0, payload); err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.FS.Fsync(p, ino); err != nil {
+					t.Fatal(err)
+				}
+			})
+			// Inspect the raw media: the inode and its data must be there.
+			od := onDiskInode(sys, ino)
+			if !od.Allocated() || od.Size != uint64(len(payload)) {
+				t.Fatalf("on-disk inode after Fsync: mode=%#x size=%d want size %d",
+					od.Mode, od.Size, len(payload))
+			}
+			img := sys.Disk.Image()
+			got := make([]byte, 0, len(payload))
+			for bi := 0; uint64(bi*ffs.BlockSize) < od.Size; bi++ {
+				frag := od.Direct[bi]
+				if frag == 0 {
+					t.Fatalf("on-disk hole at block %d after Fsync", bi)
+				}
+				n := ffs.BlockSize
+				if rem := int(od.Size) - bi*ffs.BlockSize; rem < n {
+					n = rem
+				}
+				got = append(got, img[int64(frag)*ffs.FragSize:int64(frag)*ffs.FragSize+int64(n)]...)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("on-disk data does not match after Fsync")
+			}
+		})
+	}
+}
+
+func TestFsyncMissingFile(t *testing.T) {
+	sys, err := fsim.New(fsim.Options{Scheme: fsim.SoftUpdates, DiskBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(func(p *fsim.Proc) {
+		if err := sys.FS.Fsync(p, fsim.Ino(999)); err != ffs.ErrNotExist {
+			t.Fatalf("Fsync of unallocated inode: %v", err)
+		}
+	})
+}
+
+// Section 6.1 semantics: when create() returns, whether anything is durable
+// differs by scheme — Conventional has synchronously written the inode;
+// soft updates has written nothing at all.
+func TestCreateDurabilitySemantics(t *testing.T) {
+	durableInode := func(scheme fsim.Scheme) bool {
+		sys, err := fsim.New(fsim.Options{Scheme: scheme, DiskBytes: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ino fsim.Ino
+		sys.Run(func(p *fsim.Proc) {
+			ino, err = sys.FS.Create(p, fsim.RootIno, "f")
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		od := onDiskInode(sys, ino)
+		return od.Allocated()
+	}
+	if !durableInode(fsim.Conventional) {
+		t.Error("Conventional create returned before the inode reached the disk")
+	}
+	if durableInode(fsim.SoftUpdates) {
+		t.Error("soft updates create wrote the inode synchronously")
+	}
+	if durableInode(fsim.NoOrder) {
+		t.Error("No Order create wrote the inode synchronously")
+	}
+}

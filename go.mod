@@ -1,0 +1,3 @@
+module metaupdate
+
+go 1.22

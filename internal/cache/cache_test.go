@@ -1,0 +1,483 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"metaupdate/internal/dev"
+	"metaupdate/internal/disk"
+	"metaupdate/internal/sim"
+)
+
+func newRig(cfg Config) (*sim.Engine, *disk.Disk, *dev.Driver, *Cache) {
+	eng := sim.NewEngine()
+	dsk := disk.New(disk.HPC2447(), 64<<20)
+	drv := dev.New(eng, dsk, dev.Config{Mode: dev.ModeIgnore})
+	cpu := &sim.CPU{}
+	return eng, dsk, drv, New(eng, drv, cpu, cfg)
+}
+
+// runIn executes fn as a simulated process and runs the engine to
+// completion, panicking on deadlock.
+func runIn(eng *sim.Engine, fn func(p *sim.Proc)) {
+	done := false
+	eng.Spawn("test", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	eng.Run()
+	if !done {
+		panic("simulated process deadlocked")
+	}
+}
+
+func TestBreadMissAndHit(t *testing.T) {
+	eng, dsk, _, c := newRig(Config{})
+	want := bytes.Repeat([]byte{0x42}, 2*FragSize)
+	dsk.Commit(lbnOf(100), want)
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Bread(p, 100, 2)
+		if !bytes.Equal(b.Data, want) {
+			t.Error("miss read wrong data")
+		}
+		b2 := c.Bread(p, 100, 2)
+		if b2 != b {
+			t.Error("hit returned a different buffer")
+		}
+	})
+	if c.Misses != 1 || c.Hits != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestBreadSizeConflictPanics(t *testing.T) {
+	eng, _, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		c.Bread(p, 100, 2)
+		defer func() {
+			if recover() == nil {
+				t.Error("size-conflicting Bread did not panic")
+			}
+		}()
+		c.Bread(p, 100, 4)
+	})
+}
+
+func TestConcurrentBreadSingleIO(t *testing.T) {
+	eng, dsk, _, c := newRig(Config{})
+	dsk.Commit(lbnOf(50), bytes.Repeat([]byte{9}, FragSize))
+	got := 0
+	for i := 0; i < 3; i++ {
+		eng.Spawn("reader", func(p *sim.Proc) {
+			b := c.Bread(p, 50, 1)
+			if b.Data[0] == 9 {
+				got++
+			}
+		})
+	}
+	eng.Run()
+	if got != 3 {
+		t.Fatalf("%d of 3 readers saw the data", got)
+	}
+	if c.ReadsIssued != 1 {
+		t.Errorf("ReadsIssued = %d, want 1 (waiters share the read)", c.ReadsIssued)
+	}
+}
+
+func TestGetblkZeroedNoIO(t *testing.T) {
+	eng, _, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 200, 8)
+		for _, x := range b.Data {
+			if x != 0 {
+				t.Fatal("Getblk returned non-zero data")
+			}
+		}
+	})
+	if c.ReadsIssued != 0 {
+		t.Errorf("Getblk issued %d reads", c.ReadsIssued)
+	}
+}
+
+func TestBwriteCommitsToMedia(t *testing.T) {
+	eng, dsk, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 10, 1)
+		copy(b.Data, bytes.Repeat([]byte{7}, FragSize))
+		c.Bdwrite(b)
+		c.Bwrite(p, b)
+		if b.Dirty {
+			t.Error("buffer still dirty after Bwrite")
+		}
+	})
+	got := make([]byte, FragSize)
+	dsk.ReadAt(lbnOf(10), got)
+	if got[0] != 7 {
+		t.Fatal("Bwrite did not reach media")
+	}
+}
+
+func TestWriteLockBlocksModifier(t *testing.T) {
+	// Without -CB, a process modifying a buffer with a write in flight must
+	// wait for the write to complete (section 3.3).
+	eng, _, _, c := newRig(Config{})
+	var modAt, writeDone sim.Time
+	eng.Spawn("writer", func(p *sim.Proc) {
+		b := c.Getblk(p, 10, 1)
+		b.Data[0] = 1
+		req := c.Bawrite(p, b)
+		req.Done.Wait(p)
+		writeDone = p.Now()
+	})
+	eng.Spawn("modifier", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond) // let the write get issued
+		b := c.Lookup(10)
+		c.PrepareModify(p, b)
+		modAt = p.Now()
+		b.Data[0] = 2
+	})
+	eng.Run()
+	if modAt < writeDone {
+		t.Fatalf("modifier ran at %v before write completed at %v", modAt, writeDone)
+	}
+}
+
+func TestCBAvoidsWriteLock(t *testing.T) {
+	eng, dsk, _, c := newRig(Config{CB: true})
+	var modAt, writeDone sim.Time
+	var req *dev.Request
+	eng.Spawn("writer", func(p *sim.Proc) {
+		b := c.Getblk(p, 10, 1)
+		b.Data[0] = 1
+		req = c.Bawrite(p, b)
+		req.Done.Wait(p)
+		writeDone = p.Now()
+	})
+	eng.Spawn("modifier", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		b := c.Lookup(10)
+		c.PrepareModify(p, b)
+		modAt = p.Now()
+		b.Data[0] = 2
+	})
+	eng.Run()
+	if modAt >= writeDone {
+		t.Fatalf("with -CB the modifier should not wait (mod %v, done %v)", modAt, writeDone)
+	}
+	// The snapshot, not the later modification, must be on the media.
+	got := make([]byte, FragSize)
+	dsk.ReadAt(lbnOf(10), got)
+	if got[0] != 1 {
+		t.Fatalf("media has %d, want snapshot value 1", got[0])
+	}
+}
+
+func TestSyncerFlushesDirtyBlocks(t *testing.T) {
+	eng, dsk, _, c := newRig(Config{SyncerFraction: 2})
+	c.StartSyncer()
+	eng.Spawn("user", func(p *sim.Proc) {
+		b := c.Getblk(p, 30, 1)
+		b.Data[0] = 0xAB
+		c.Bdwrite(b)
+	})
+	// Two-pass marking with fraction 1/2: flushed within ~4 seconds.
+	eng.RunUntil(5 * sim.Second)
+	got := make([]byte, FragSize)
+	dsk.ReadAt(lbnOf(30), got)
+	if got[0] != 0xAB {
+		t.Fatal("syncer did not flush dirty block")
+	}
+	if c.DirtyCount() != 0 {
+		t.Errorf("DirtyCount = %d after syncer flush", c.DirtyCount())
+	}
+	c.StopSyncer()
+}
+
+func TestSyncerServicesWorkitemsFirst(t *testing.T) {
+	eng, _, _, c := newRig(Config{})
+	c.StartSyncer()
+	var ranAt sim.Time
+	c.QueueWork(func(p *sim.Proc) { ranAt = p.Now() })
+	eng.RunUntil(1500 * sim.Millisecond)
+	c.StopSyncer()
+	if ranAt == 0 || ranAt > sim.Second {
+		t.Fatalf("workitem ran at %v, want within one second", ranAt)
+	}
+}
+
+func TestWorkitemsChainWithinOnePass(t *testing.T) {
+	// A workitem queued by another workitem is drained in the same pass.
+	eng, _, _, c := newRig(Config{})
+	order := []int{}
+	c.QueueWork(func(p *sim.Proc) {
+		order = append(order, 1)
+		c.QueueWork(func(p *sim.Proc) { order = append(order, 2) })
+	})
+	runIn(eng, func(p *sim.Proc) { c.RunWork(p) })
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("workitem chain ran %v", order)
+	}
+}
+
+func TestSyncAllQuiesces(t *testing.T) {
+	eng, dsk, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		for i := int64(0); i < 10; i++ {
+			b := c.Getblk(p, 100+i*8, 8)
+			b.Data[0] = byte(i + 1)
+			c.Bdwrite(b)
+		}
+		c.SyncAll(p, 10)
+	})
+	if c.DirtyCount() != 0 {
+		t.Fatalf("%d dirty buffers after SyncAll", c.DirtyCount())
+	}
+	got := make([]byte, FragSize)
+	for i := int64(0); i < 10; i++ {
+		dsk.ReadAt(lbnOf(100+i*8), got)
+		if got[0] != byte(i+1) {
+			t.Fatalf("block %d not flushed", i)
+		}
+	}
+}
+
+func TestEvictionLRUAndDirtyWriteback(t *testing.T) {
+	// Cache of 4 blocks of 8 frags: inserting a 5th evicts the LRU clean
+	// one; dirty buffers get written back rather than lost.
+	eng, dsk, _, c := newRig(Config{MaxBytes: 4 * 8 * FragSize})
+	runIn(eng, func(p *sim.Proc) {
+		for i := int64(0); i < 4; i++ {
+			b := c.Getblk(p, i*8, 8)
+			b.Data[0] = byte(i + 1)
+			c.Bdwrite(b)
+			p.Sleep(sim.Millisecond)
+		}
+		c.Getblk(p, 100, 8) // forces eviction of frag 0 (LRU)
+	})
+	if c.Lookup(0) != nil {
+		t.Fatal("LRU buffer not evicted")
+	}
+	got := make([]byte, FragSize)
+	dsk.ReadAt(lbnOf(0), got)
+	if got[0] != 1 {
+		t.Fatal("evicted dirty buffer was not written back")
+	}
+}
+
+func TestPinnedBufferNotEvicted(t *testing.T) {
+	eng, _, _, c := newRig(Config{MaxBytes: 2 * 8 * FragSize})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 0, 8)
+		b.Pinned = true
+		p.Sleep(sim.Millisecond)
+		c.Getblk(p, 8, 8)
+		p.Sleep(sim.Millisecond)
+		c.Getblk(p, 16, 8)
+	})
+	if c.Lookup(0) == nil {
+		t.Fatal("pinned buffer was evicted")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	eng, _, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 40, 2)
+		b.Data[0] = 1
+		c.Bdwrite(b)
+		c.Drop(40)
+		if c.Lookup(40) != nil {
+			t.Error("Drop left buffer resident")
+		}
+		c.Drop(41) // absent: no-op
+	})
+}
+
+func TestDropDuringWriteUnmapsImmediately(t *testing.T) {
+	// A freed buffer leaves the cache at once so its fragments can be
+	// re-cached by a new owner; the in-flight write keeps its own source
+	// and is ordered ahead of the new owner's writes by the driver.
+	eng, _, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 40, 2)
+		b.Data[0] = 1
+		req := c.Bawrite(p, b)
+		c.Drop(40)
+		if c.Lookup(40) != nil {
+			t.Error("dropped buffer still mapped")
+		}
+		nb := c.Getblk(p, 40, 2) // new owner may appear immediately
+		if nb == b {
+			t.Error("new owner got the dropped buffer")
+		}
+		req.Done.Wait(p)
+	})
+}
+
+// rollbackHooks substitutes a rolled-back copy of the write source,
+// exercising the soft-updates hook surface.
+type rollbackHooks struct {
+	NopHooks
+	rollbacks int
+}
+
+func (h *rollbackHooks) BeforeWrite(b *Buf, src []byte) []byte {
+	h.rollbacks++
+	cp := append([]byte(nil), src...)
+	cp[0] = 0
+	return cp
+}
+
+func (h *rollbackHooks) WriteDone(b *Buf, req *dev.Request) {}
+
+func TestHooksRollbackSubstitutesSource(t *testing.T) {
+	eng, dsk, _, c := newRig(Config{})
+	h := &rollbackHooks{}
+	c.Hooks = h
+	var seen byte
+	eng.Spawn("writer", func(p *sim.Proc) {
+		b := c.Getblk(p, 10, 1)
+		b.Data[0] = 0xEE
+		req := c.Bawrite(p, b)
+		req.Done.Wait(p)
+	})
+	eng.Spawn("reader", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		b := c.Bread(p, 10, 1)
+		seen = b.Data[0]
+	})
+	eng.Run()
+	if h.rollbacks == 0 {
+		t.Fatal("hook never ran")
+	}
+	// The live buffer is never perturbed: readers always see 0xEE.
+	if seen != 0xEE {
+		t.Fatalf("reader saw %#x, want live value 0xEE", seen)
+	}
+	// Media must have the rolled-back (substituted) value.
+	got := make([]byte, FragSize)
+	dsk.ReadAt(lbnOf(10), got)
+	if got[0] != 0 {
+		t.Fatalf("media has %#x, want rolled-back 0", got[0])
+	}
+}
+
+func TestWriteFlagAndDepsConsumed(t *testing.T) {
+	eng, _, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 10, 1)
+		b.WriteFlag = true
+		b.WriteDeps = []uint64{99}
+		req := c.Bawrite(p, b)
+		if !req.Flag || len(req.DependsOn) != 1 || req.DependsOn[0] != 99 {
+			t.Error("flag/deps not propagated to request")
+		}
+		if b.WriteFlag || b.WriteDeps != nil {
+			t.Error("flag/deps not cleared after issue")
+		}
+		req.Done.Wait(p)
+	})
+}
+
+func TestIssueWhileWritingKeepsDirty(t *testing.T) {
+	eng, _, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 10, 1)
+		c.Bdwrite(b)
+		req1 := c.Bawrite(p, b)
+		if req1 == nil {
+			t.Fatal("first write not issued")
+		}
+		req2 := c.Bawrite(p, b)
+		if req2 != nil {
+			t.Fatal("second write issued while first in flight")
+		}
+		if !b.Dirty {
+			t.Fatal("buffer lost dirty state")
+		}
+		req1.Done.Wait(p)
+	})
+}
+
+func TestCopyPoolBackpressure(t *testing.T) {
+	// With a tiny snapshot pool, a burst of CB writes must block the issuer
+	// until completions release pool space — never exceeding the cap.
+	eng := sim.NewEngine()
+	dsk := disk.New(disk.HPC2447(), 64<<20)
+	drv := dev.New(eng, dsk, dev.Config{Mode: dev.ModeIgnore})
+	cpu := &sim.CPU{}
+	c := New(eng, drv, cpu, Config{CB: true, MaxCopyBytes: 4 * 8 * FragSize})
+	var maxOutstanding int
+	runIn(eng, func(p *sim.Proc) {
+		for i := int64(0); i < 20; i++ {
+			b := c.Getblk(p, i*8, 8)
+			b.Data[0] = byte(i)
+			c.Bdwrite(b)
+			c.Bawrite(p, b)
+			if c.copyOutstanding > maxOutstanding {
+				maxOutstanding = c.copyOutstanding
+			}
+		}
+		drv.WaitIdle(p)
+	})
+	if maxOutstanding > 4*8*FragSize {
+		t.Fatalf("pool exceeded: %d outstanding", maxOutstanding)
+	}
+	if c.copyOutstanding != 0 {
+		t.Fatalf("%d snapshot bytes leaked", c.copyOutstanding)
+	}
+}
+
+func TestHoldPreventsEviction(t *testing.T) {
+	eng, _, _, c := newRig(Config{MaxBytes: 2 * 8 * FragSize})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 0, 8)
+		b.Hold()
+		p.Sleep(sim.Millisecond)
+		c.Getblk(p, 8, 8)
+		p.Sleep(sim.Millisecond)
+		c.Getblk(p, 16, 8) // would evict frag 0 without the hold
+		if c.Lookup(0) == nil {
+			t.Fatal("held buffer was evicted")
+		}
+		if c.HeldCount() != 1 {
+			t.Fatalf("HeldCount = %d", c.HeldCount())
+		}
+		b.Unhold()
+		if c.HeldCount() != 0 {
+			t.Fatal("Unhold did not release")
+		}
+	})
+}
+
+func TestUnholdWithoutHoldPanics(t *testing.T) {
+	eng, _, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 0, 1)
+		defer func() {
+			if recover() == nil {
+				t.Error("Unhold without Hold did not panic")
+			}
+		}()
+		b.Unhold()
+	})
+}
+
+func TestResizeTracksBytes(t *testing.T) {
+	eng, _, _, c := newRig(Config{})
+	runIn(eng, func(p *sim.Proc) {
+		b := c.Getblk(p, 0, 2)
+		before := c.Bytes()
+		c.Resize(b, 6)
+		if c.Bytes() != before+4*FragSize {
+			t.Fatalf("Bytes() = %d after grow, want %d", c.Bytes(), before+4*FragSize)
+		}
+		if b.NFrags() != 6 {
+			t.Fatalf("NFrags = %d", b.NFrags())
+		}
+		c.Resize(b, 6) // no-op
+		if c.Bytes() != before+4*FragSize {
+			t.Fatal("no-op resize changed accounting")
+		}
+	})
+}

@@ -1,0 +1,535 @@
+// Package dev implements the instrumented device driver and disk scheduler
+// from the paper's experimental apparatus (section 2) and the
+// scheduler-enforced ordering machinery of section 3.
+//
+// The driver accepts asynchronous requests, keeps them in a queue, and
+// dispatches them to the disk with C-LOOK scheduling, concatenating
+// sequential requests the way the paper's SVR4 MP driver did. Ordering is
+// expressed as a per-request *barrier set* computed at submission time:
+//
+//   - ModeIgnore: no ordering beyond conflicts (overlapping ranges never
+//     reorder). Used by Conventional, Soft Updates and No Order, which
+//     enforce ordering above the driver (or not at all).
+//   - ModeFlag: the one-bit ordering flag of section 3.1 with the Full,
+//     Back and Part semantics, optionally letting non-conflicting reads
+//     bypass ordering (the -NR option).
+//   - ModeChains: the explicit dependency lists of section 3.2 — each
+//     request names previously issued request IDs that must complete first.
+//
+// Every request is traced with its queue and service delays, reproducing
+// the paper's driver instrumentation ("per-request queue and service
+// delays").
+package dev
+
+import (
+	"fmt"
+	"sort"
+
+	"metaupdate/internal/disk"
+	"metaupdate/internal/sim"
+)
+
+// OrderMode selects how the scheduler interprets ordering information.
+type OrderMode int
+
+// Ordering modes.
+const (
+	ModeIgnore OrderMode = iota
+	ModeFlag
+	ModeChains
+)
+
+// FlagSemantics is the contract between file system and scheduler for
+// ModeFlag (section 3.1).
+type FlagSemantics int
+
+// Flag semantics, from most to least restrictive.
+const (
+	// SemFull: a flagged request is a full barrier — it waits for all
+	// previous requests, and nothing submitted later passes it.
+	SemFull FlagSemantics = iota
+	// SemBack: requests submitted after a flagged request cannot be
+	// scheduled before it or anything submitted before it; the flagged
+	// request itself reorders freely with previous non-flagged requests.
+	SemBack
+	// SemPart: requests submitted after a flagged request cannot be
+	// scheduled before it; everything else reorders freely.
+	SemPart
+)
+
+func (s FlagSemantics) String() string {
+	switch s {
+	case SemFull:
+		return "Full"
+	case SemBack:
+		return "Back"
+	case SemPart:
+		return "Part"
+	}
+	return fmt.Sprintf("FlagSemantics(%d)", int(s))
+}
+
+// Config parameterizes the driver.
+type Config struct {
+	Mode OrderMode
+	Sem  FlagSemantics // for ModeFlag
+	// NR lets non-conflicting reads bypass writes that are waiting on
+	// ordering restrictions (the -NR option; meaningless for ModeChains,
+	// where reads simply carry no dependencies).
+	NR bool
+	// MaxConcat bounds the sectors dispatched as one concatenated disk
+	// command. 0 means DefaultMaxConcat.
+	MaxConcat int
+}
+
+// DefaultMaxConcat is 128 KB of sectors, a typical mid-90s transfer cap.
+const DefaultMaxConcat = 256
+
+// Request is one disk request. Submit assigns ID and Done. The Data slice of
+// a write must not be modified until Done fires (the buffer cache enforces
+// this with write locks or by snapshotting — the -CB scheme).
+type Request struct {
+	ID    uint64
+	Op    disk.Op
+	LBN   int64  // first sector
+	Count int    // sectors
+	Data  []byte // write source; nil for reads
+	Buf   []byte // read destination; nil for writes
+
+	Flag      bool     // ModeFlag: ordering flag
+	DependsOn []uint64 // ModeChains: request IDs that must complete first
+
+	Done *sim.Completion
+
+	// Barrier bookkeeping: IDs of pending requests that must complete
+	// before this one may be dispatched.
+	waitingOn map[uint64]struct{}
+
+	enqueueAt  sim.Time
+	dispatchAt sim.Time
+}
+
+func (r *Request) end() int64 { return r.LBN + int64(r.Count) }
+
+func (r *Request) overlaps(q *Request) bool {
+	return r.LBN < q.end() && q.LBN < r.end()
+}
+
+// Stat is one traced request, in completion order.
+type Stat struct {
+	Op       disk.Op
+	Sectors  int
+	Queue    sim.Duration // submission -> dispatch
+	Service  sim.Duration // dispatch -> completion ("disk access time")
+	Response sim.Duration // submission -> completion ("driver response time")
+	CacheHit bool
+}
+
+// Trace accumulates per-request statistics.
+type Trace struct {
+	Stats       []Stat
+	MaxQueueLen int
+}
+
+// Reset clears the trace (used to scope measurement to a benchmark window).
+func (t *Trace) Reset() { t.Stats = nil; t.MaxQueueLen = 0 }
+
+// Requests returns the number of traced requests.
+func (t *Trace) Requests() int { return len(t.Stats) }
+
+// AvgServiceMS returns the mean disk access time in milliseconds.
+func (t *Trace) AvgServiceMS() float64 { return t.avg(func(s Stat) sim.Duration { return s.Service }) }
+
+// AvgResponseMS returns the mean driver response time in milliseconds.
+func (t *Trace) AvgResponseMS() float64 {
+	return t.avg(func(s Stat) sim.Duration { return s.Response })
+}
+
+// AvgQueueMS returns the mean queueing delay in milliseconds.
+func (t *Trace) AvgQueueMS() float64 { return t.avg(func(s Stat) sim.Duration { return s.Queue }) }
+
+func (t *Trace) avg(f func(Stat) sim.Duration) float64 {
+	if len(t.Stats) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, s := range t.Stats {
+		sum += f(s)
+	}
+	return (sum / sim.Duration(len(t.Stats))).Milliseconds()
+}
+
+// Driver is the device driver plus disk scheduler.
+type Driver struct {
+	eng *sim.Engine
+	dsk *disk.Disk
+	cfg Config
+
+	nextID   uint64
+	queue    []*Request // submitted, not dispatched, in submission order
+	inflight []*Request // dispatched batch, in LBN order
+	pending  map[uint64]*Request
+	blocking map[uint64][]*Request // pending ID -> requests waiting on it
+
+	lastFlagID uint64 // most recent flagged request ever submitted (ModeFlag)
+	headLBN    int64  // C-LOOK position: sector after the last dispatch
+
+	batchAccess   disk.Access
+	batchDispatch sim.Time
+	batchLBN      int64
+
+	idleC   *sim.Completion
+	crashed bool
+
+	// Debug counters (cheap; retained for tests).
+	DbgFlaggedSubmitted int64
+	DbgReadBarrierSum   int64
+	DbgReadCount        int64
+
+	Trace Trace
+}
+
+// New returns a driver for dsk driven by eng.
+func New(eng *sim.Engine, dsk *disk.Disk, cfg Config) *Driver {
+	if cfg.MaxConcat <= 0 {
+		cfg.MaxConcat = DefaultMaxConcat
+	}
+	return &Driver{
+		eng:      eng,
+		dsk:      dsk,
+		cfg:      cfg,
+		pending:  make(map[uint64]*Request),
+		blocking: make(map[uint64][]*Request),
+	}
+}
+
+// Config returns the driver configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// QueueLen reports queued (not yet dispatched) requests.
+func (d *Driver) QueueLen() int { return len(d.queue) }
+
+// Busy reports whether any request is queued or in flight.
+func (d *Driver) Busy() bool { return len(d.queue) > 0 || len(d.inflight) > 0 }
+
+// Submit enqueues r, computes its ordering barrier, and starts the disk if
+// idle. It returns r for convenience; r.Done fires at completion.
+func (d *Driver) Submit(r *Request) *Request {
+	if r.Count <= 0 {
+		panic("dev: request with no sectors")
+	}
+	if r.Op == disk.Write && len(r.Data) != r.Count*disk.SectorSize {
+		panic("dev: write data size mismatch")
+	}
+	if r.Op == disk.Read && len(r.Buf) != r.Count*disk.SectorSize {
+		panic("dev: read buffer size mismatch")
+	}
+	d.nextID++
+	r.ID = d.nextID
+	r.Done = sim.NewCompletion()
+	r.enqueueAt = d.eng.Now()
+	r.waitingOn = make(map[uint64]struct{})
+
+	d.computeBarrier(r)
+	for id := range r.waitingOn {
+		d.blocking[id] = append(d.blocking[id], r)
+	}
+
+	d.queue = append(d.queue, r)
+	d.pending[r.ID] = r
+	if r.Flag && d.cfg.Mode == ModeFlag {
+		d.lastFlagID = r.ID
+		d.DbgFlaggedSubmitted++
+	}
+	if r.Op == disk.Read {
+		d.DbgReadCount++
+		d.DbgReadBarrierSum += int64(len(r.waitingOn))
+	}
+	if len(d.queue) > d.Trace.MaxQueueLen {
+		d.Trace.MaxQueueLen = len(d.queue)
+	}
+	d.kick()
+	return r
+}
+
+// computeBarrier fills r.waitingOn from conflicts and the ordering mode.
+// It scans all pending requests (queue + inflight), which are exactly the
+// requests submitted before r that have not completed.
+func (d *Driver) computeBarrier(r *Request) {
+	wait := func(q *Request) { r.waitingOn[q.ID] = struct{}{} }
+
+	scan := func(f func(q *Request)) {
+		for _, q := range d.inflight {
+			f(q)
+		}
+		for _, q := range d.queue {
+			f(q)
+		}
+	}
+
+	// Conflicts: overlapping ranges where at least one side writes never
+	// reorder, in every mode.
+	scan(func(q *Request) {
+		if r.overlaps(q) && (r.Op == disk.Write || q.Op == disk.Write) {
+			wait(q)
+		}
+	})
+
+	switch d.cfg.Mode {
+	case ModeIgnore:
+		// Nothing further.
+	case ModeFlag:
+		if d.cfg.NR && r.Op == disk.Read {
+			return // reads bypass ordering, conflicts already handled
+		}
+		switch d.cfg.Sem {
+		case SemPart:
+			// Wait for every pending flagged request.
+			scan(func(q *Request) {
+				if q.Flag {
+					wait(q)
+				}
+			})
+		case SemBack:
+			// Wait for everything submitted at or before the most
+			// recently submitted flagged request (whether or not that
+			// flagged request itself is still pending).
+			scan(func(q *Request) {
+				if q.ID <= d.lastFlagID {
+					wait(q)
+				}
+			})
+		case SemFull:
+			scan(func(q *Request) {
+				if q.ID <= d.lastFlagID {
+					wait(q)
+				}
+			})
+			if r.Flag {
+				// A full barrier also waits for all previous requests.
+				scan(wait)
+			}
+		}
+	case ModeChains:
+		for _, id := range r.DependsOn {
+			if _, ok := d.pending[id]; ok {
+				r.waitingOn[id] = struct{}{}
+			}
+		}
+		// Barrier fallback (section 3.2's simpler de-allocation approach):
+		// a flagged request under chains acts as a Part-NR-style barrier —
+		// later writes wait for it, reads pass.
+		if r.Op == disk.Write {
+			scan(func(q *Request) {
+				if q.Flag {
+					wait(q)
+				}
+			})
+		}
+	}
+}
+
+func (r *Request) eligible() bool { return len(r.waitingOn) == 0 }
+
+// kick dispatches the next batch if the disk is idle and work is eligible.
+func (d *Driver) kick() {
+	if d.crashed || len(d.inflight) > 0 || len(d.queue) == 0 {
+		return
+	}
+	pick := d.pickCLOOK()
+	if pick == nil {
+		return // everything is barrier-blocked; a completion will re-kick
+	}
+	batch := d.concat(pick)
+	d.dispatch(batch)
+}
+
+// pickCLOOK selects the eligible request with the smallest LBN at or after
+// the head position, wrapping to the smallest LBN when none is ahead.
+func (d *Driver) pickCLOOK() *Request {
+	var ahead, first *Request
+	for _, r := range d.queue {
+		if !r.eligible() {
+			continue
+		}
+		if first == nil || r.LBN < first.LBN {
+			first = r
+		}
+		if r.LBN >= d.headLBN && (ahead == nil || r.LBN < ahead.LBN) {
+			ahead = r
+		}
+	}
+	if ahead != nil {
+		return ahead
+	}
+	return first
+}
+
+// concat gathers pick plus any eligible same-op requests exactly contiguous
+// after it, up to the concatenation cap — the paper's "scheduling code in
+// the device driver concatenates sequential requests". One LBN index per
+// dispatch keeps this linear even with thousands of queued requests.
+func (d *Driver) concat(pick *Request) []*Request {
+	byLBN := make(map[int64]*Request, len(d.queue))
+	for _, r := range d.queue {
+		if r != pick && r.eligible() && r.Op == pick.Op {
+			if _, dup := byLBN[r.LBN]; !dup { // earliest submission wins
+				byLBN[r.LBN] = r
+			}
+		}
+	}
+	batch := []*Request{pick}
+	total := pick.Count
+	end := pick.end()
+	for total < d.cfg.MaxConcat {
+		next := byLBN[end]
+		if next == nil || total+next.Count > d.cfg.MaxConcat {
+			break
+		}
+		delete(byLBN, end)
+		batch = append(batch, next)
+		total += next.Count
+		end = next.end()
+	}
+	return batch
+}
+
+func inBatch(batch []*Request, r *Request) bool {
+	for _, b := range batch {
+		if b == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Driver) dispatch(batch []*Request) {
+	now := d.eng.Now()
+	first := batch[0]
+	total := 0
+	for _, r := range batch {
+		total += r.Count
+		r.dispatchAt = now
+	}
+	// Remove batch members from the queue, preserving order.
+	out := d.queue[:0]
+	for _, r := range d.queue {
+		if !inBatch(batch, r) {
+			out = append(out, r)
+		}
+	}
+	d.queue = out
+	d.inflight = batch
+
+	acc := d.dsk.Plan(now, first.Op, first.LBN, total)
+	d.batchAccess = acc
+	d.batchDispatch = now
+	d.batchLBN = first.LBN
+	d.headLBN = first.LBN + int64(total)
+
+	d.eng.At(now+acc.Service, func() { d.complete(batch, acc) })
+}
+
+func (d *Driver) complete(batch []*Request, acc disk.Access) {
+	if d.crashed {
+		return
+	}
+	now := d.eng.Now()
+	// Move data first: writes commit to media, reads fill buffers. Only
+	// after the media reflects the batch do we fire completions, so that
+	// completion callbacks (e.g. soft updates redo) observe committed state.
+	for _, r := range batch {
+		if r.Op == disk.Write {
+			d.dsk.Commit(r.LBN, r.Data)
+		} else {
+			d.dsk.ReadAt(r.LBN, r.Buf)
+		}
+	}
+	for _, r := range batch {
+		delete(d.pending, r.ID)
+	}
+	for _, r := range batch {
+		for _, blocked := range d.blocking[r.ID] {
+			delete(blocked.waitingOn, r.ID)
+		}
+		delete(d.blocking, r.ID)
+		d.Trace.Stats = append(d.Trace.Stats, Stat{
+			Op:       r.Op,
+			Sectors:  r.Count,
+			Queue:    r.dispatchAt - r.enqueueAt,
+			Service:  now - r.dispatchAt,
+			Response: now - r.enqueueAt,
+			CacheHit: acc.CacheHit,
+		})
+	}
+	d.inflight = nil
+	for _, r := range batch {
+		r.Done.Fire(d.eng)
+	}
+	d.kick()
+	if !d.Busy() && d.idleC != nil {
+		c := d.idleC
+		d.idleC = nil
+		c.Fire(d.eng)
+	}
+}
+
+// WaitIdle blocks p until the driver has no queued or in-flight requests.
+func (d *Driver) WaitIdle(p *sim.Proc) {
+	for d.Busy() {
+		if d.idleC == nil {
+			d.idleC = sim.NewCompletion()
+		}
+		d.idleC.Wait(p)
+	}
+}
+
+// Crash freezes the driver at the current (halted) virtual time: the
+// in-flight batch commits the sector prefix the disk had physically written,
+// queued requests are discarded, and no further completions fire. Call only
+// after Engine.RunUntil has stopped delivering events.
+func (d *Driver) Crash(at sim.Time) {
+	d.crashed = true
+	if len(d.inflight) == 0 {
+		return
+	}
+	elapsed := at - d.batchDispatch
+	transferred := elapsed - d.batchAccess.Positioning
+	var sectorsDone int
+	if transferred > 0 && d.batchAccess.PerSector > 0 {
+		sectorsDone = int(transferred / d.batchAccess.PerSector)
+	}
+	// Sectors commit in LBN order across the batch.
+	lbn := d.batchLBN
+	for _, r := range d.inflight {
+		if sectorsDone <= 0 {
+			break
+		}
+		if r.Op == disk.Write {
+			n := r.Count
+			if sectorsDone < n {
+				n = sectorsDone
+			}
+			d.dsk.CommitPrefix(lbn, r.Data, n)
+		}
+		sectorsDone -= r.Count
+		lbn += int64(r.Count)
+	}
+}
+
+// PendingIDs returns the IDs of all pending requests in submission order
+// (exposed for the ordering layer and for tests).
+func (d *Driver) PendingIDs() []uint64 {
+	ids := make([]uint64, 0, len(d.pending))
+	for id := range d.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// IsPending reports whether request id has not yet completed.
+func (d *Driver) IsPending(id uint64) bool {
+	_, ok := d.pending[id]
+	return ok
+}

@@ -1,0 +1,229 @@
+package dev
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metaupdate/internal/disk"
+	"metaupdate/internal/sim"
+)
+
+// The driver's one job is to never violate the contract of its ordering
+// mode, no matter what request stream arrives. These properties replay
+// random streams and verify the completion order against an oracle.
+
+type completionRecorder struct {
+	order []uint64
+	pos   map[uint64]int
+}
+
+// randomStream submits a random mix of reads and writes (some flagged, some
+// with dependencies on earlier requests) from a simulated process with
+// random think times, then runs to completion.
+func randomStream(t *testing.T, cfg Config, seed int64, n int) ([]*Request, *completionRecorder) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	eng := sim.NewEngine()
+	dsk := disk.New(disk.HPC2447(), 64<<20)
+	drv := New(eng, dsk, cfg)
+
+	var reqs []*Request
+	done := false
+	eng.Spawn("submitter", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			lbn := rng.Int63n(dsk.Sectors() - 16)
+			count := 1 + rng.Intn(8)
+			r := &Request{LBN: lbn, Count: count}
+			if rng.Intn(4) == 0 {
+				r.Op = disk.Read
+				r.Buf = make([]byte, count*disk.SectorSize)
+			} else {
+				r.Op = disk.Write
+				r.Data = make([]byte, count*disk.SectorSize)
+				if cfg.Mode == ModeFlag && rng.Intn(3) == 0 {
+					r.Flag = true
+				}
+				if cfg.Mode == ModeChains && len(reqs) > 0 && rng.Intn(3) == 0 {
+					// Depend on up to two random earlier requests.
+					for d := 0; d < 1+rng.Intn(2); d++ {
+						r.DependsOn = append(r.DependsOn, reqs[rng.Intn(len(reqs))].ID)
+					}
+				}
+			}
+			drv.Submit(r)
+			reqs = append(reqs, r)
+			if rng.Intn(3) == 0 {
+				p.Sleep(sim.Duration(rng.Int63n(int64(12 * sim.Millisecond))))
+			}
+		}
+		done = true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("submitter did not finish")
+	}
+	rec := &completionRecorder{pos: make(map[uint64]int)}
+	// Reconstruct completion order from the trace: it appends at completion.
+	// Simpler: verify every request completed and build order from Done
+	// FiredAt plus submission order as a tie-break.
+	type fin struct {
+		id uint64
+		at sim.Time
+		ix int
+	}
+	var fins []fin
+	for i, r := range reqs {
+		if !r.Done.Fired() {
+			t.Fatalf("request %d never completed", r.ID)
+		}
+		fins = append(fins, fin{r.ID, r.Done.FiredAt, i})
+	}
+	// Stable order: completion time, then submission index (batch members
+	// complete at the same instant in submission order within the batch).
+	for i := 1; i < len(fins); i++ {
+		for j := i; j > 0 && (fins[j].at < fins[j-1].at ||
+			(fins[j].at == fins[j-1].at && fins[j].ix < fins[j-1].ix)); j-- {
+			fins[j], fins[j-1] = fins[j-1], fins[j]
+		}
+	}
+	for _, f := range fins {
+		rec.pos[f.id] = len(rec.order)
+		rec.order = append(rec.order, f.id)
+	}
+	return reqs, rec
+}
+
+func TestPropertyChainsRespectDependencies(t *testing.T) {
+	f := func(seed int64) bool {
+		reqs, rec := randomStream(t, Config{Mode: ModeChains}, seed, 40)
+		for _, r := range reqs {
+			for _, dep := range r.DependsOn {
+				if rec.pos[dep] > rec.pos[r.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPartSemantics(t *testing.T) {
+	// Part: no write submitted after a flagged write may complete before
+	// it.
+	f := func(seed int64) bool {
+		reqs, rec := randomStream(t, Config{Mode: ModeFlag, Sem: SemPart}, seed, 40)
+		for i, r := range reqs {
+			if !r.Flag {
+				continue
+			}
+			for _, later := range reqs[i+1:] {
+				if later.Op == disk.Write && rec.pos[later.ID] < rec.pos[r.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBackSemantics(t *testing.T) {
+	// Back: a write submitted after a flagged write completes after the
+	// flagged write AND after everything submitted before the flag.
+	f := func(seed int64) bool {
+		reqs, rec := randomStream(t, Config{Mode: ModeFlag, Sem: SemBack}, seed, 30)
+		for i, rf := range reqs {
+			if !rf.Flag {
+				continue
+			}
+			for _, later := range reqs[i+1:] {
+				if later.Op != disk.Write {
+					continue
+				}
+				for _, earlier := range reqs[:i+1] {
+					if rec.pos[later.ID] < rec.pos[earlier.ID] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFullSemantics(t *testing.T) {
+	// Full: additionally, the flagged write itself completes after every
+	// previously submitted request.
+	f := func(seed int64) bool {
+		reqs, rec := randomStream(t, Config{Mode: ModeFlag, Sem: SemFull}, seed, 30)
+		for i, rf := range reqs {
+			if !rf.Flag {
+				continue
+			}
+			for _, earlier := range reqs[:i] {
+				if rec.pos[rf.ID] < rec.pos[earlier.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyConflictingWritesOrdered(t *testing.T) {
+	// In every mode, overlapping writes complete in submission order and
+	// the media ends with the last writer's data.
+	modes := []Config{
+		{Mode: ModeIgnore},
+		{Mode: ModeFlag, Sem: SemPart, NR: true},
+		{Mode: ModeChains},
+	}
+	f := func(seed int64, modeIx uint8) bool {
+		cfg := modes[int(modeIx)%len(modes)]
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		dsk := disk.New(disk.HPC2447(), 8<<20)
+		drv := New(eng, dsk, cfg)
+		// All writes to the same 4 sectors, distinct fill bytes.
+		var reqs []*Request
+		eng.Spawn("s", func(p *sim.Proc) {
+			for i := 0; i < 12; i++ {
+				data := make([]byte, 4*disk.SectorSize)
+				for j := range data {
+					data[j] = byte(i + 1)
+				}
+				r := &Request{Op: disk.Write, LBN: 100, Count: 4, Data: data,
+					Flag: rng.Intn(2) == 0}
+				drv.Submit(r)
+				reqs = append(reqs, r)
+				if rng.Intn(2) == 0 {
+					p.Sleep(sim.Duration(rng.Int63n(int64(5 * sim.Millisecond))))
+				}
+			}
+		})
+		eng.Run()
+		for i := 1; i < len(reqs); i++ {
+			if reqs[i].Done.FiredAt < reqs[i-1].Done.FiredAt {
+				return false
+			}
+		}
+		got := make([]byte, 4*disk.SectorSize)
+		dsk.ReadAt(100, got)
+		return got[0] == 12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+package disk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metaupdate/internal/sim"
+)
+
+func testDisk() *Disk { return New(HPC2447(), 64<<20) }
+
+func TestCapacityAndSectors(t *testing.T) {
+	p := HPC2447()
+	if got := p.Capacity(); got < 1<<30 {
+		t.Errorf("capacity = %d, want >= 1 GB", got)
+	}
+	d := New(p, 64<<20)
+	if d.Sectors() != (64<<20)/SectorSize {
+		t.Errorf("Sectors() = %d", d.Sectors())
+	}
+}
+
+func TestRevTime(t *testing.T) {
+	p := HPC2447()
+	rev := p.RevTime()
+	secs := 60.0 / p.RPM // ~11.11 ms
+	want := sim.Duration(secs * float64(sim.Second))
+	if rev != want {
+		t.Errorf("RevTime = %v, want %v", rev, want)
+	}
+}
+
+func TestSeekCurve(t *testing.T) {
+	d := testDisk()
+	if s := d.seekTime(100, 100); s != 0 {
+		t.Errorf("zero-distance seek = %v, want 0", s)
+	}
+	short := d.seekTime(0, 1)
+	long := d.seekTime(0, 3000)
+	if short <= 0 || long <= short {
+		t.Errorf("seek curve not monotonic: short=%v long=%v", short, long)
+	}
+	if long > sim.Duration(d.P.SeekMaxMS*float64(sim.Millisecond)) {
+		t.Errorf("seek %v exceeds cap", long)
+	}
+	if short < 2*sim.Millisecond || short > 3*sim.Millisecond {
+		t.Errorf("track-to-track seek = %v, want ~2.2ms", short)
+	}
+}
+
+func TestRandomVsSequentialReads(t *testing.T) {
+	// Sequential 8 KB reads must be far cheaper on average than random ones,
+	// thanks to the read-ahead segment.
+	const blk = 16 // sectors
+	seq := testDisk()
+	var now sim.Time
+	var seqTotal sim.Duration
+	for i := 0; i < 100; i++ {
+		a := seq.Plan(now, Read, int64(i*blk), blk)
+		seqTotal += a.Service
+		now += a.Service
+	}
+
+	rnd := testDisk()
+	rng := rand.New(rand.NewSource(1))
+	now = 0
+	var rndTotal sim.Duration
+	for i := 0; i < 100; i++ {
+		lbn := rng.Int63n(rnd.Sectors() - blk)
+		a := rnd.Plan(now, Read, lbn, blk)
+		rndTotal += a.Service
+		now += a.Service
+	}
+	if seqTotal*3 > rndTotal {
+		t.Errorf("sequential reads (%v) not much cheaper than random (%v)", seqTotal, rndTotal)
+	}
+}
+
+func TestPrefetchHit(t *testing.T) {
+	d := testDisk()
+	a1 := d.Plan(0, Read, 0, 16)
+	if a1.CacheHit {
+		t.Fatal("first read cannot be a cache hit")
+	}
+	a2 := d.Plan(a1.Service, Read, 16, 16)
+	if !a2.CacheHit {
+		t.Fatal("immediately following sequential read should hit read-ahead")
+	}
+	if a2.Service >= a1.Service {
+		t.Errorf("cache hit (%v) not faster than miss (%v)", a2.Service, a1.Service)
+	}
+}
+
+func TestWriteInvalidatesPrefetch(t *testing.T) {
+	d := testDisk()
+	a := d.Plan(0, Read, 0, 16)
+	d.Plan(a.Service, Write, 20, 4) // overlaps the read-ahead window
+	a3 := d.Plan(a.Service*2, Read, 16, 4)
+	if a3.CacheHit {
+		t.Error("read after overlapping write still hit stale cache")
+	}
+}
+
+func TestPrefetchHitWaitsForCatchup(t *testing.T) {
+	d := testDisk()
+	a1 := d.Plan(0, Read, 0, 16)
+	// Ask immediately for a sector far into the read-ahead window: the
+	// drive hasn't read it yet, so service includes catch-up time.
+	near := d.Plan(a1.Service, Read, 16, 1)
+	d2 := testDisk()
+	b1 := d2.Plan(0, Read, 0, 16)
+	far := d2.Plan(b1.Service, Read, 400, 1)
+	if !near.CacheHit || !far.CacheHit {
+		t.Fatal("expected both reads to be cache hits")
+	}
+	if far.Service <= near.Service {
+		t.Errorf("far-ahead hit (%v) should wait longer than near hit (%v)", far.Service, near.Service)
+	}
+}
+
+func TestCommitAndReadBack(t *testing.T) {
+	d := testDisk()
+	src := make([]byte, 3*SectorSize)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	d.Commit(10, src)
+	got := make([]byte, len(src))
+	d.ReadAt(10, got)
+	if !bytes.Equal(got, src) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestCommitPrefix(t *testing.T) {
+	d := testDisk()
+	src := bytes.Repeat([]byte{0xAA}, 4*SectorSize)
+	d.CommitPrefix(0, src, 2)
+	got := make([]byte, 4*SectorSize)
+	d.ReadAt(0, got)
+	if !bytes.Equal(got[:2*SectorSize], src[:2*SectorSize]) {
+		t.Error("prefix sectors not committed")
+	}
+	for _, b := range got[2*SectorSize:] {
+		if b != 0 {
+			t.Fatal("sectors beyond prefix were committed")
+		}
+	}
+	// Out-of-range prefix counts are clamped.
+	d.CommitPrefix(0, src, 99)
+	d.ReadAt(0, got)
+	if !bytes.Equal(got, src) {
+		t.Error("clamped full commit failed")
+	}
+	d.CommitPrefix(8, src, -3) // no-op
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := testDisk()
+	d.Plan(0, Read, 0, 16)
+	d.Plan(0, Write, 1000, 2)
+	if d.Reads != 1 || d.Writes != 1 {
+		t.Errorf("counts: %d reads %d writes", d.Reads, d.Writes)
+	}
+	if d.SectorsRead != 16 || d.SectorsWritten != 2 {
+		t.Errorf("sector counts: %d read %d written", d.SectorsRead, d.SectorsWritten)
+	}
+	if d.BusyTime <= 0 {
+		t.Error("busy time not accumulated")
+	}
+}
+
+func TestAccessOutOfRangePanics(t *testing.T) {
+	d := testDisk()
+	for _, tc := range []struct{ lbn, count int64 }{
+		{-1, 1}, {d.Sectors(), 1}, {d.Sectors() - 1, 2}, {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Plan(%d,%d) did not panic", tc.lbn, tc.count)
+				}
+			}()
+			d.Plan(0, Read, tc.lbn, int(tc.count))
+		}()
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("Op strings wrong")
+	}
+}
+
+// Property: every planned access has positive service time bounded by
+// overhead + max seek + one revolution + transfer, and Positioning <= Service.
+func TestServiceTimeBoundsQuick(t *testing.T) {
+	d := testDisk()
+	rev := d.P.RevTime()
+	maxSeek := sim.Duration(d.P.SeekMaxMS * float64(sim.Millisecond))
+	var now sim.Time // monotonic, as in real use
+	f := func(rawLBN int64, rawCount uint8, isWrite bool, rawGap int64) bool {
+		count := int(rawCount%64) + 1
+		lbn := rawLBN % (d.Sectors() - int64(count))
+		if lbn < 0 {
+			lbn = -lbn
+		}
+		gap := rawGap % int64(100*sim.Millisecond)
+		if gap < 0 {
+			gap = -gap
+		}
+		now += sim.Duration(gap)
+		op := Read
+		if isWrite {
+			op = Write
+		}
+		a := d.Plan(now, op, lbn, count)
+		now += a.Service
+		transfer := sim.Duration(count) * a.PerSector
+		// Cache hits may wait for the read-ahead to cover the whole
+		// prefetch window, which can span several revolutions.
+		catchup := sim.Duration(d.P.PrefetchSectors+count) * d.mediaPerSector
+		upper := d.P.CmdOverhead + maxSeek + rev + transfer + catchup
+		return a.Service > 0 && a.Positioning <= a.Service && a.Service <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Commit then ReadAt round-trips arbitrary sector-aligned data.
+func TestCommitRoundTripQuick(t *testing.T) {
+	d := testDisk()
+	f := func(seed int64, rawLBN int64, rawCount uint8) bool {
+		count := int(rawCount%8) + 1
+		lbn := rawLBN % (d.Sectors() - int64(count))
+		if lbn < 0 {
+			lbn = -lbn
+		}
+		src := make([]byte, count*SectorSize)
+		rand.New(rand.NewSource(seed)).Read(src)
+		d.Commit(lbn, src)
+		got := make([]byte, len(src))
+		d.ReadAt(lbn, got)
+		return bytes.Equal(src, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

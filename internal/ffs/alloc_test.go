@@ -1,0 +1,151 @@
+package ffs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/ordering"
+	"metaupdate/internal/sim"
+)
+
+// Allocator invariants: no double allocation, runs stay inside blocks,
+// directories spread across allocation groups, files follow their
+// directory.
+
+func TestAllocatorNeverDoubleAllocates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+		ok := true
+		r.run(t, func(p *sim.Proc) {
+			type owner struct {
+				ino  ffs.Ino
+				name string
+			}
+			files := map[string]ffs.Ino{}
+			for step := 0; step < 80 && ok; step++ {
+				name := fmt.Sprintf("f%d", rng.Intn(15))
+				if _, exists := files[name]; !exists && rng.Intn(3) != 0 {
+					ino, err := r.fs.Create(p, ffs.RootIno, name)
+					if err != nil {
+						continue
+					}
+					if err := r.fs.WriteAt(p, ino, 0, make([]byte, 200+rng.Intn(30000))); err != nil {
+						ok = false
+						break
+					}
+					files[name] = ino
+				} else if exists {
+					r.fs.Unlink(p, ffs.RootIno, name)
+					delete(files, name)
+				}
+			}
+			// Verify disjointness: walk every file's runs and demand no
+			// fragment is claimed twice.
+			seen := map[int32]owner{}
+			for name, ino := range files {
+				ip, err := r.fs.Stat(p, ino)
+				if err != nil {
+					ok = false
+					return
+				}
+				blocks := int(ip.Size+ffs.BlockSize-1) / ffs.BlockSize
+				for bi := 0; bi < blocks && bi < ffs.NDirect; bi++ {
+					start := ip.Direct[bi]
+					n := ffs.BlockFrags
+					if bi == blocks-1 {
+						if rem := int(ip.Size) % ffs.BlockSize; rem != 0 {
+							n = (rem + ffs.FragSize - 1) / ffs.FragSize
+						}
+					}
+					for i := int32(0); i < int32(n); i++ {
+						if prev, dup := seen[start+i]; dup {
+							t.Logf("fragment %d owned by %q and %q", start+i, prev.name, name)
+							ok = false
+							return
+						}
+						seen[start+i] = owner{ino, name}
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectoriesSpreadAcrossGroups(t *testing.T) {
+	// New directories rotate allocation groups, so their first blocks land
+	// far apart — the FFS layout policy the multi-user benchmarks depend on.
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		var firstFrags []int32
+		for i := 0; i < 4; i++ {
+			d, err := r.fs.Mkdir(p, ffs.RootIno, fmt.Sprintf("d%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ip, _ := r.fs.Stat(p, d)
+			firstFrags = append(firstFrags, ip.Direct[0])
+		}
+		const cgFrags = 2048
+		groups := map[int32]bool{}
+		for _, f := range firstFrags {
+			groups[f/cgFrags] = true
+		}
+		if len(groups) < 3 {
+			t.Fatalf("4 directories landed in only %d group(s): %v", len(groups), firstFrags)
+		}
+	})
+}
+
+func TestFilesFollowTheirDirectory(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		d, _ := r.fs.Mkdir(p, ffs.RootIno, "d")
+		dip, _ := r.fs.Stat(p, d)
+		const cgFrags = 2048
+		dirGroup := dip.Direct[0] / cgFrags
+		for i := 0; i < 5; i++ {
+			ino, _ := r.fs.Create(p, d, fmt.Sprintf("f%d", i))
+			r.fs.WriteAt(p, ino, 0, make([]byte, 4096))
+			ip, _ := r.fs.Stat(p, ino)
+			if ip.Direct[0]/cgFrags != dirGroup {
+				t.Fatalf("file %d allocated in group %d, directory in %d",
+					i, ip.Direct[0]/cgFrags, dirGroup)
+			}
+		}
+	})
+}
+
+func TestAllocatorSpillsWhenGroupFull(t *testing.T) {
+	// Fill one group past its capacity; allocation must spill to the next
+	// group rather than fail.
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		d, _ := r.fs.Mkdir(p, ffs.RootIno, "d")
+		// 2 MB group; write 3 MB of files into it.
+		for i := 0; i < 12; i++ {
+			ino, err := r.fs.Create(p, d, fmt.Sprintf("f%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.fs.WriteAt(p, ino, 0, make([]byte, 256<<10)); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		// All data readable (allocation succeeded somewhere).
+		for i := 0; i < 12; i++ {
+			ino, _ := r.fs.Lookup(p, d, fmt.Sprintf("f%d", i))
+			buf := make([]byte, 256<<10)
+			if n, err := r.fs.ReadAt(p, ino, 0, buf); err != nil || n != 256<<10 {
+				t.Fatalf("read %d: n=%d err=%v", i, n, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package ffs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Directory entry format (FFS-style, simplified):
+//
+//	ino     uint32  (0 = unused entry; its reclen is free space)
+//	reclen  uint16  (total space this entry owns, 4-byte aligned)
+//	namelen uint8
+//	ftype   uint8
+//	name    [namelen]byte, padded to 4-byte alignment
+//
+// Entries never cross a DirChunk (512-byte) boundary. Because disk sectors
+// are 512 bytes and writes are sector-atomic, a crash can never tear an
+// individual entry — the property all four ordering schemes rely on.
+const (
+	direntHdr  = 8
+	maxNameLen = 255
+)
+
+// File types stored in directory entries (for fsck's benefit).
+const (
+	FtypeFile uint8 = 1
+	FtypeDir  uint8 = 2
+)
+
+// entrySpace returns the aligned space a name needs.
+func entrySpace(namelen int) int {
+	return (direntHdr + namelen + 3) &^ 3
+}
+
+// Dirent is a decoded directory entry.
+type Dirent struct {
+	Ino    Ino
+	Reclen int
+	Name   string
+	Ftype  uint8
+	Off    int // byte offset within the directory block data
+}
+
+func putDirent(b []byte, ino Ino, reclen int, name string, ftype uint8) {
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], uint32(ino))
+	le.PutUint16(b[4:], uint16(reclen))
+	b[6] = uint8(len(name))
+	b[7] = ftype
+	copy(b[direntHdr:], name)
+}
+
+func readDirent(b []byte, off int) Dirent {
+	le := binary.LittleEndian
+	namelen := int(b[off+6])
+	return Dirent{
+		Ino:    Ino(le.Uint32(b[off:])),
+		Reclen: int(le.Uint16(b[off+4:])),
+		Name:   string(b[off+direntHdr : off+direntHdr+namelen]),
+		Ftype:  b[off+7],
+		Off:    off,
+	}
+}
+
+// initDirChunks formats raw directory space: each 512-byte chunk becomes a
+// single empty entry owning the whole chunk.
+func initDirChunks(b []byte) {
+	for off := 0; off < len(b); off += DirChunk {
+		putDirent(b[off:], 0, DirChunk, "", 0)
+	}
+}
+
+// scanChunk iterates the entries of one chunk, calling f with each; f
+// returning false stops the scan. It returns the number of entries visited.
+func scanChunk(b []byte, chunkOff int, f func(d Dirent) bool) int {
+	n := 0
+	off := chunkOff
+	for off < chunkOff+DirChunk {
+		d := readDirent(b, off)
+		if d.Reclen <= 0 {
+			break // corrupt; fsck's problem
+		}
+		n++
+		if !f(d) {
+			break
+		}
+		off += d.Reclen
+	}
+	return n
+}
+
+// findEntry scans directory data for name. It returns the entry and true if
+// found, and always returns the total number of entries scanned (the CPU
+// cost driver for the paper's "less CPU time spent checking the directory
+// contents" effect).
+func findEntry(data []byte, name string) (Dirent, bool, int) {
+	scanned := 0
+	for chunk := 0; chunk < len(data); chunk += DirChunk {
+		var found *Dirent
+		scanned += scanChunk(data, chunk, func(d Dirent) bool {
+			if d.Ino != 0 && d.Name == name {
+				dd := d
+				found = &dd
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return *found, true, scanned
+		}
+	}
+	return Dirent{}, false, scanned
+}
+
+// addEntryInData finds room for (name, ino) in existing directory data and
+// stores the entry, returning its offset. ok is false when the block is
+// full. Free space is either an unused entry (ino 0) or slack at the tail
+// of a live entry's reclen.
+func addEntryInData(data []byte, name string, ino Ino, ftype uint8) (off int, ok bool) {
+	need := entrySpace(len(name))
+	for chunk := 0; chunk < len(data); chunk += DirChunk {
+		result := -1
+		scanChunk(data, chunk, func(d Dirent) bool {
+			if d.Ino == 0 && d.Reclen >= need {
+				// Claim the free entry's space.
+				putDirent(data[d.Off:], ino, d.Reclen, name, ftype)
+				result = d.Off
+				return false
+			}
+			used := entrySpace(int(data[d.Off+6]))
+			if d.Ino != 0 && d.Reclen-used >= need {
+				// Split the slack off the live entry.
+				le := binary.LittleEndian
+				le.PutUint16(data[d.Off+4:], uint16(used))
+				newOff := d.Off + used
+				putDirent(data[newOff:], ino, d.Reclen-used, name, ftype)
+				result = newOff
+				return false
+			}
+			return true
+		})
+		if result >= 0 {
+			return result, true
+		}
+	}
+	return 0, false
+}
+
+// removeEntryInData clears the entry at off, coalescing its space into the
+// previous entry of the same chunk when one exists (the FFS compaction
+// rule). It returns the offset that now owns the space.
+func removeEntryInData(data []byte, off int) int {
+	chunk := off / DirChunk * DirChunk
+	le := binary.LittleEndian
+	prev := -1
+	scanChunk(data, chunk, func(d Dirent) bool {
+		if d.Off == off {
+			return false
+		}
+		prev = d.Off
+		return true
+	})
+	victim := readDirent(data, off)
+	if prev >= 0 {
+		// Grow the previous entry over the victim's space.
+		p := readDirent(data, prev)
+		le.PutUint16(data[prev+4:], uint16(p.Reclen+victim.Reclen))
+		// Scrub the victim header so stale bytes can't masquerade as an
+		// entry (the reclen walk no longer reaches it, but fsck reads raw
+		// bytes).
+		le.PutUint32(data[off:], 0)
+		return prev
+	}
+	// First entry of the chunk: becomes an unused entry owning its space.
+	putDirent(data[off:], 0, victim.Reclen, "", 0)
+	return off
+}
+
+// listEntries returns all live entries in directory data.
+func listEntries(data []byte) []Dirent {
+	var out []Dirent
+	for chunk := 0; chunk < len(data); chunk += DirChunk {
+		scanChunk(data, chunk, func(d Dirent) bool {
+			if d.Ino != 0 {
+				out = append(out, d)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mustAddEntryRaw is the mkfs helper for seeding "." and "..".
+func mustAddEntryRaw(data []byte, name string, ino Ino, ftype uint8) {
+	if _, ok := addEntryInData(data, name, ino, ftype); !ok {
+		panic(fmt.Sprintf("ffs: mkfs could not add %q", name))
+	}
+}

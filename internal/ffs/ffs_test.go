@@ -1,0 +1,692 @@
+package ffs_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metaupdate/internal/cache"
+	"metaupdate/internal/dev"
+	"metaupdate/internal/disk"
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/ordering"
+	"metaupdate/internal/sim"
+)
+
+type rig struct {
+	eng *sim.Engine
+	dsk *disk.Disk
+	drv *dev.Driver
+	c   *cache.Cache
+	fs  *ffs.FS
+}
+
+// newRig formats and mounts a small file system with the given scheme.
+func newRig(t *testing.T, ord ffs.Ordering, fscfg ffs.Config) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	dsk := disk.New(disk.HPC2447(), 96<<20)
+	if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: 96 << 20, NInodes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	drv := dev.New(eng, dsk, dev.Config{Mode: dev.ModeIgnore})
+	cpu := &sim.CPU{}
+	c := cache.New(eng, drv, cpu, cache.Config{MaxBytes: 8 << 20})
+	r := &rig{eng: eng, dsk: dsk, drv: drv, c: c}
+	var err error
+	eng.Spawn("mount", func(p *sim.Proc) {
+		r.fs, err = ffs.Mount(eng, cpu, c, ord, fscfg, p)
+	})
+	eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// run executes fn as a simulated process to completion, failing the test
+// if the process deadlocks (the engine drains while it is still parked).
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	r.eng.Spawn("test", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	r.eng.Run()
+	if !done {
+		t.Fatal("simulated process deadlocked (engine drained before it finished)")
+	}
+}
+
+func TestFormatAndMount(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	sb := r.fs.Superblock()
+	if sb.Magic != ffs.Magic {
+		t.Fatal("bad magic after mount")
+	}
+	if sb.DataStart%ffs.BlockFrags != 0 {
+		t.Errorf("data region not block aligned: %d", sb.DataStart)
+	}
+	r.run(t, func(p *sim.Proc) {
+		ip, err := r.fs.Stat(p, ffs.RootIno)
+		if err != nil || !ip.IsDir() || ip.Nlink != 2 {
+			t.Errorf("root inode wrong: %+v err=%v", ip, err)
+		}
+	})
+}
+
+func TestCreateLookupStat(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		ino, err := r.fs.Create(p, ffs.RootIno, "hello.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.fs.Lookup(p, ffs.RootIno, "hello.txt")
+		if err != nil || got != ino {
+			t.Fatalf("Lookup = %d, %v; want %d", got, err, ino)
+		}
+		ip, err := r.fs.Stat(p, ino)
+		if err != nil || ip.Mode != ffs.ModeFile || ip.Nlink != 1 || ip.Size != 0 {
+			t.Fatalf("Stat = %+v, %v", ip, err)
+		}
+		if _, err := r.fs.Create(p, ffs.RootIno, "hello.txt"); err != ffs.ErrExist {
+			t.Fatalf("duplicate create: %v", err)
+		}
+		if _, err := r.fs.Lookup(p, ffs.RootIno, "missing"); err != ffs.ErrNotExist {
+			t.Fatalf("missing lookup: %v", err)
+		}
+	})
+}
+
+func TestInvalidNames(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.fs.Create(p, ffs.RootIno, ""); err != ffs.ErrNameLen {
+			t.Errorf("empty name: %v", err)
+		}
+		long := make([]byte, 300)
+		for i := range long {
+			long[i] = 'x'
+		}
+		if _, err := r.fs.Create(p, ffs.RootIno, string(long)); err != ffs.ErrNameLen {
+			t.Errorf("long name: %v", err)
+		}
+	})
+}
+
+func TestWriteReadSmall(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		ino, _ := r.fs.Create(p, ffs.RootIno, "f")
+		msg := []byte("metadata update performance in file systems")
+		if err := r.fs.WriteAt(p, ino, 0, msg); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 100)
+		n, err := r.fs.ReadAt(p, ino, 0, buf)
+		if err != nil || n != len(msg) || !bytes.Equal(buf[:n], msg) {
+			t.Fatalf("read back %d bytes, err %v", n, err)
+		}
+		ip, _ := r.fs.Stat(p, ino)
+		if ip.Size != uint64(len(msg)) {
+			t.Fatalf("size = %d, want %d", ip.Size, len(msg))
+		}
+	})
+}
+
+// fileData generates a deterministic pattern for a file.
+func fileData(seed, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(int64(seed))).Read(b)
+	return b
+}
+
+func TestWriteReadLargeWithIndirect(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		ino, _ := r.fs.Create(p, ffs.RootIno, "big")
+		// 200 KB: exceeds 12 direct blocks (96 KB), exercises the single
+		// indirect block.
+		data := fileData(1, 200<<10)
+		if err := r.fs.WriteAt(p, ino, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		n, err := r.fs.ReadAt(p, ino, 0, got)
+		if err != nil || n != len(data) {
+			t.Fatalf("read %d, %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("large file data mismatch")
+		}
+	})
+}
+
+func TestDoubleIndirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large file")
+	}
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		ino, _ := r.fs.Create(p, ffs.RootIno, "huge")
+		// Just past 12 + 2048 blocks = 16.47 MB.
+		size := (ffs.NDirect+ffs.PtrsPerBlock)*ffs.BlockSize + 3*ffs.BlockSize + 100
+		data := fileData(2, size)
+		if err := r.fs.WriteAt(p, ino, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, size)
+		if n, err := r.fs.ReadAt(p, ino, 0, got); err != nil || n != size {
+			t.Fatalf("read %d, %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("double-indirect data mismatch")
+		}
+		// Remove it and make sure the space comes back.
+		if err := r.fs.Unlink(p, ffs.RootIno, "huge"); err != nil {
+			t.Fatal(err)
+		}
+		r.fs.Sync(p)
+	})
+}
+
+func TestAppendGrowsFragments(t *testing.T) {
+	// Appending in sub-block chunks exercises fragment extension: the
+	// file's tail run grows from 1 to 8 fragments.
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		ino, _ := r.fs.Create(p, ffs.RootIno, "frags")
+		var all []byte
+		off := uint64(0)
+		for i := 0; i < 20; i++ {
+			chunk := fileData(i, 700)
+			if err := r.fs.WriteAt(p, ino, off, chunk); err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			all = append(all, chunk...)
+			off += uint64(len(chunk))
+		}
+		got := make([]byte, len(all))
+		n, err := r.fs.ReadAt(p, ino, 0, got)
+		if err != nil || n != len(all) || !bytes.Equal(got, all) {
+			t.Fatalf("append read-back mismatch: n=%d err=%v", n, err)
+		}
+	})
+}
+
+func TestFragmentMoveWhenNeighborTaken(t *testing.T) {
+	// Create a 1-fragment file, then force its neighbours to be taken so
+	// extension must move the fragment run.
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		a, _ := r.fs.Create(p, ffs.RootIno, "a")
+		r.fs.WriteAt(p, a, 0, fileData(1, 1000))
+		// Fill neighbouring fragments with other small files.
+		for i := 0; i < 7; i++ {
+			f, _ := r.fs.Create(p, ffs.RootIno, fmt.Sprintf("fill%d", i))
+			r.fs.WriteAt(p, f, 0, fileData(i+10, 1000))
+		}
+		// Extending "a" now requires a move.
+		data2 := fileData(2, 3000)
+		if err := r.fs.WriteAt(p, a, 0, data2); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 3000)
+		n, err := r.fs.ReadAt(p, a, 0, got)
+		if err != nil || n != 3000 || !bytes.Equal(got, data2) {
+			t.Fatalf("moved fragment read-back failed: n=%d err=%v", n, err)
+		}
+	})
+}
+
+func TestUnlinkFreesSpace(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		ino, _ := r.fs.Create(p, ffs.RootIno, "f")
+		r.fs.WriteAt(p, ino, 0, fileData(1, 50<<10))
+		if err := r.fs.Unlink(p, ffs.RootIno, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.Lookup(p, ffs.RootIno, "f"); err != ffs.ErrNotExist {
+			t.Fatalf("lookup after unlink: %v", err)
+		}
+		if _, err := r.fs.Stat(p, ino); err != ffs.ErrNotExist {
+			t.Fatalf("stat after unlink: %v", err)
+		}
+		// The inode and space must be reusable.
+		ino2, err := r.fs.Create(p, ffs.RootIno, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.WriteAt(p, ino2, 0, fileData(2, 50<<10)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestHardLinks(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		ino, _ := r.fs.Create(p, ffs.RootIno, "orig")
+		r.fs.WriteAt(p, ino, 0, []byte("shared"))
+		if err := r.fs.Link(p, ino, ffs.RootIno, "alias"); err != nil {
+			t.Fatal(err)
+		}
+		ip, _ := r.fs.Stat(p, ino)
+		if ip.Nlink != 2 {
+			t.Fatalf("nlink = %d, want 2", ip.Nlink)
+		}
+		if err := r.fs.Unlink(p, ffs.RootIno, "orig"); err != nil {
+			t.Fatal(err)
+		}
+		// Still readable through the alias.
+		got, _ := r.fs.Lookup(p, ffs.RootIno, "alias")
+		if got != ino {
+			t.Fatal("alias lost")
+		}
+		ip, err := r.fs.Stat(p, ino)
+		if err != nil || ip.Nlink != 1 {
+			t.Fatalf("nlink after unlink = %d, %v", ip.Nlink, err)
+		}
+		r.fs.Unlink(p, ffs.RootIno, "alias")
+		if _, err := r.fs.Stat(p, ino); err != ffs.ErrNotExist {
+			t.Fatalf("inode survived final unlink: %v", err)
+		}
+	})
+}
+
+func TestMkdirRmdir(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		sub, err := r.fs.Mkdir(p, ffs.RootIno, "sub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip, _ := r.fs.Stat(p, sub)
+		if !ip.IsDir() || ip.Nlink != 2 {
+			t.Fatalf("child dir: %+v", ip)
+		}
+		rip, _ := r.fs.Stat(p, ffs.RootIno)
+		if rip.Nlink != 3 {
+			t.Fatalf("parent nlink = %d, want 3", rip.Nlink)
+		}
+		// "." and ".." resolve.
+		if got, _ := r.fs.Lookup(p, sub, "."); got != sub {
+			t.Error("'.' wrong")
+		}
+		if got, _ := r.fs.Lookup(p, sub, ".."); got != ffs.RootIno {
+			t.Error("'..' wrong")
+		}
+		// Non-empty rmdir fails.
+		f, _ := r.fs.Create(p, sub, "f")
+		_ = f
+		if err := r.fs.Rmdir(p, ffs.RootIno, "sub"); err != ffs.ErrNotEmpty {
+			t.Fatalf("rmdir non-empty: %v", err)
+		}
+		r.fs.Unlink(p, sub, "f")
+		if err := r.fs.Rmdir(p, ffs.RootIno, "sub"); err != nil {
+			t.Fatal(err)
+		}
+		rip, _ = r.fs.Stat(p, ffs.RootIno)
+		if rip.Nlink != 2 {
+			t.Fatalf("parent nlink after rmdir = %d", rip.Nlink)
+		}
+		if _, err := r.fs.Stat(p, sub); err != ffs.ErrNotExist {
+			t.Fatalf("dir inode survived rmdir: %v", err)
+		}
+	})
+}
+
+func TestDirectoryGrowth(t *testing.T) {
+	// Enough entries to grow the directory past several chunks and
+	// fragments.
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		inos := map[string]ffs.Ino{}
+		for i := 0; i < 400; i++ {
+			name := fmt.Sprintf("file-with-a-longish-name-%04d", i)
+			ino, err := r.fs.Create(p, ffs.RootIno, name)
+			if err != nil {
+				t.Fatalf("create %d: %v", i, err)
+			}
+			inos[name] = ino
+		}
+		for name, want := range inos {
+			got, err := r.fs.Lookup(p, ffs.RootIno, name)
+			if err != nil || got != want {
+				t.Fatalf("lookup %q = %d, %v; want %d", name, got, err, want)
+			}
+		}
+		ents, err := r.fs.ReadDir(p, ffs.RootIno)
+		if err != nil || len(ents) != 400 {
+			t.Fatalf("ReadDir: %d entries, %v", len(ents), err)
+		}
+	})
+}
+
+func TestDirEntrySpaceReuse(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			r.fs.Create(p, ffs.RootIno, fmt.Sprintf("f%02d", i))
+		}
+		ip, _ := r.fs.Stat(p, ffs.RootIno)
+		sizeBefore := ip.Size
+		for i := 0; i < 30; i++ {
+			r.fs.Unlink(p, ffs.RootIno, fmt.Sprintf("f%02d", i))
+		}
+		for i := 0; i < 30; i++ {
+			if _, err := r.fs.Create(p, ffs.RootIno, fmt.Sprintf("g%02d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ip, _ = r.fs.Stat(p, ffs.RootIno)
+		if ip.Size != sizeBefore {
+			t.Errorf("directory grew from %d to %d despite free space", sizeBefore, ip.Size)
+		}
+	})
+}
+
+func TestRename(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		ino, _ := r.fs.Create(p, ffs.RootIno, "old")
+		r.fs.WriteAt(p, ino, 0, []byte("payload"))
+		sub, _ := r.fs.Mkdir(p, ffs.RootIno, "d")
+		if err := r.fs.Rename(p, ffs.RootIno, "old", sub, "new"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.Lookup(p, ffs.RootIno, "old"); err != ffs.ErrNotExist {
+			t.Fatal("old name survived rename")
+		}
+		got, err := r.fs.Lookup(p, sub, "new")
+		if err != nil || got != ino {
+			t.Fatalf("new name: %d, %v", got, err)
+		}
+		ip, _ := r.fs.Stat(p, ino)
+		if ip.Nlink != 1 {
+			t.Fatalf("nlink after rename = %d", ip.Nlink)
+		}
+	})
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		src, _ := r.fs.Create(p, ffs.RootIno, "src")
+		dst, _ := r.fs.Create(p, ffs.RootIno, "dst")
+		if err := r.fs.Rename(p, ffs.RootIno, "src", ffs.RootIno, "dst"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.fs.Lookup(p, ffs.RootIno, "dst")
+		if err != nil || got != src {
+			t.Fatalf("dst resolves to %d, %v; want %d", got, err, src)
+		}
+		if _, err := r.fs.Stat(p, dst); err != ffs.ErrNotExist {
+			t.Fatalf("replaced target not freed: %v", err)
+		}
+	})
+}
+
+func TestConcurrentUsersSeparateDirs(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	var wg sim.WaitGroup
+	for u := 0; u < 4; u++ {
+		u := u
+		wg.Add(1)
+		r.eng.Spawn(fmt.Sprintf("user%d", u), func(p *sim.Proc) {
+			defer wg.Done(r.eng)
+			dir, err := r.fs.Mkdir(p, ffs.RootIno, fmt.Sprintf("u%d", u))
+			if err != nil {
+				t.Errorf("user %d mkdir: %v", u, err)
+				return
+			}
+			for i := 0; i < 25; i++ {
+				ino, err := r.fs.Create(p, dir, fmt.Sprintf("f%d", i))
+				if err != nil {
+					t.Errorf("user %d create %d: %v", u, i, err)
+					return
+				}
+				if err := r.fs.WriteAt(p, ino, 0, fileData(u*100+i, 3000)); err != nil {
+					t.Errorf("user %d write: %v", u, err)
+					return
+				}
+			}
+		})
+	}
+	done := false
+	r.eng.Spawn("join", func(p *sim.Proc) { wg.Wait(p); done = true })
+	r.eng.Run()
+	if !done {
+		t.Fatal("users did not finish")
+	}
+	// Verify all content.
+	r.run(t, func(p *sim.Proc) {
+		for u := 0; u < 4; u++ {
+			dir, _ := r.fs.Lookup(p, ffs.RootIno, fmt.Sprintf("u%d", u))
+			ents, _ := r.fs.ReadDir(p, dir)
+			if len(ents) != 25 {
+				t.Fatalf("user %d has %d files", u, len(ents))
+			}
+		}
+	})
+}
+
+func TestOutOfInodes(t *testing.T) {
+	eng := sim.NewEngine()
+	dsk := disk.New(disk.HPC2447(), 32<<20)
+	if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: 32 << 20, NInodes: 64}); err != nil {
+		t.Fatal(err)
+	}
+	drv := dev.New(eng, dsk, dev.Config{Mode: dev.ModeIgnore})
+	cpu := &sim.CPU{}
+	c := cache.New(eng, drv, cpu, cache.Config{})
+	eng.Spawn("t", func(p *sim.Proc) {
+		fs, err := ffs.Mount(eng, cpu, c, ordering.NewNoOrder(), ffs.Config{}, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var lastErr error
+		for i := 0; i < 70; i++ {
+			_, lastErr = fs.Create(p, ffs.RootIno, fmt.Sprintf("f%d", i))
+			if lastErr != nil {
+				break
+			}
+		}
+		if lastErr != ffs.ErrNoInodes {
+			t.Errorf("expected ErrNoInodes, got %v", lastErr)
+		}
+	})
+	eng.Run()
+}
+
+func TestSyncMakesEverythingDurable(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		ino, _ := r.fs.Create(p, ffs.RootIno, "durable")
+		r.fs.WriteAt(p, ino, 0, fileData(7, 20<<10))
+		r.fs.Sync(p)
+	})
+	if n := r.c.DirtyCount(); n != 0 {
+		t.Fatalf("%d dirty buffers after Sync", n)
+	}
+	if r.drv.Busy() {
+		t.Fatal("driver still busy after Sync")
+	}
+}
+
+// Property: random sequences of create/write/unlink in one directory keep a
+// shadow model consistent with the file system.
+func TestRandomOpsMatchModelQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+		ok := true
+		r.run(t, func(p *sim.Proc) {
+			model := map[string][]byte{}
+			for step := 0; step < 60 && ok; step++ {
+				name := fmt.Sprintf("n%d", rng.Intn(12))
+				switch rng.Intn(3) {
+				case 0: // create+write
+					if _, exists := model[name]; exists {
+						break
+					}
+					ino, err := r.fs.Create(p, ffs.RootIno, name)
+					if err != nil {
+						ok = false
+						break
+					}
+					data := fileData(int(rng.Int31()), rng.Intn(20000))
+					if err := r.fs.WriteAt(p, ino, 0, data); err != nil {
+						ok = false
+						break
+					}
+					model[name] = data
+				case 1: // unlink
+					if _, exists := model[name]; !exists {
+						break
+					}
+					if err := r.fs.Unlink(p, ffs.RootIno, name); err != nil {
+						ok = false
+						break
+					}
+					delete(model, name)
+				case 2: // verify
+					data, exists := model[name]
+					ino, err := r.fs.Lookup(p, ffs.RootIno, name)
+					if exists != (err == nil) {
+						ok = false
+						break
+					}
+					if !exists {
+						break
+					}
+					got := make([]byte, len(data)+10)
+					n, err := r.fs.ReadAt(p, ino, 0, got)
+					if err != nil || n != len(data) || !bytes.Equal(got[:n], data) {
+						ok = false
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// All five scheme stand-ins must produce identical logical file system
+// state; they differ only in write ordering and timing.
+func TestSchemesAgreeOnLogicalState(t *testing.T) {
+	schemes := []struct {
+		name string
+		ord  ffs.Ordering
+		mode dev.Config
+	}{
+		{"noorder", ordering.NewNoOrder(), dev.Config{Mode: dev.ModeIgnore}},
+		{"conventional", ordering.NewConventional(), dev.Config{Mode: dev.ModeIgnore}},
+		{"flag", ordering.NewFlag(), dev.Config{Mode: dev.ModeFlag, Sem: dev.SemPart, NR: true}},
+		{"chains", ordering.NewChains(), dev.Config{Mode: dev.ModeChains}},
+	}
+	for _, sc := range schemes {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			dsk := disk.New(disk.HPC2447(), 96<<20)
+			if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: 96 << 20, NInodes: 4096}); err != nil {
+				t.Fatal(err)
+			}
+			drv := dev.New(eng, dsk, sc.mode)
+			cpu := &sim.CPU{}
+			c := cache.New(eng, drv, cpu, cache.Config{MaxBytes: 8 << 20, CB: true})
+			eng.Spawn("t", func(p *sim.Proc) {
+				fs, err := ffs.Mount(eng, cpu, c, sc.ord, ffs.Config{AllocInit: true}, p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dir, _ := fs.Mkdir(p, ffs.RootIno, "work")
+				var inos []ffs.Ino
+				for i := 0; i < 20; i++ {
+					ino, err := fs.Create(p, dir, fmt.Sprintf("f%d", i))
+					if err != nil {
+						t.Errorf("create: %v", err)
+						return
+					}
+					fs.WriteAt(p, ino, 0, fileData(i, 5000+i*777))
+					inos = append(inos, ino)
+				}
+				for i := 0; i < 10; i++ {
+					if err := fs.Unlink(p, dir, fmt.Sprintf("f%d", i)); err != nil {
+						t.Errorf("unlink: %v", err)
+						return
+					}
+				}
+				fs.Sync(p)
+				ents, _ := fs.ReadDir(p, dir)
+				if len(ents) != 10 {
+					t.Errorf("%d entries left, want 10", len(ents))
+				}
+				for i := 10; i < 20; i++ {
+					want := fileData(i, 5000+i*777)
+					got := make([]byte, len(want))
+					n, err := fs.ReadAt(p, inos[i], 0, got)
+					if err != nil || n != len(want) || !bytes.Equal(got, want) {
+						t.Errorf("file %d corrupt under %s", i, sc.name)
+						return
+					}
+				}
+			})
+			eng.Run()
+		})
+	}
+}
+
+func TestNoHeldBuffersAfterOperations(t *testing.T) {
+	// Every operation must release what it holds (the brelse discipline);
+	// a leak would pin buffers against eviction forever.
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		dir, _ := r.fs.Mkdir(p, ffs.RootIno, "d")
+		for i := 0; i < 30; i++ {
+			name := fmt.Sprintf("f%d", i)
+			ino, err := r.fs.Create(p, dir, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.fs.WriteAt(p, ino, 0, fileData(i, 9000))
+			r.fs.ReadAt(p, ino, 0, make([]byte, 100))
+			r.fs.Stat(p, ino)
+			r.fs.Lookup(p, dir, name)
+		}
+		r.fs.ReadDir(p, dir)
+		r.fs.Link(p, mustLookup(t, p, r.fs, dir, "f1"), dir, "l1")
+		r.fs.Rename(p, dir, "f2", dir, "r2")
+		r.fs.Rename(p, dir, "f3", dir, "f4") // replace
+		for i := 5; i < 15; i++ {
+			r.fs.Unlink(p, dir, fmt.Sprintf("f%d", i))
+		}
+		sub, _ := r.fs.Mkdir(p, dir, "sub")
+		_ = sub
+		r.fs.Rmdir(p, dir, "sub")
+		r.fs.Sync(p)
+	})
+	if n := r.c.HeldCount(); n != 0 {
+		t.Fatalf("%d buffers still held after operations", n)
+	}
+}
+
+func mustLookup(t *testing.T, p *sim.Proc, fs *ffs.FS, dir ffs.Ino, name string) ffs.Ino {
+	t.Helper()
+	ino, err := fs.Lookup(p, dir, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ino
+}

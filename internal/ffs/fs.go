@@ -1,0 +1,209 @@
+package ffs
+
+import (
+	"errors"
+	"fmt"
+
+	"metaupdate/internal/cache"
+	"metaupdate/internal/sim"
+)
+
+// Errors returned by file system operations.
+var (
+	ErrExist    = errors.New("ffs: file exists")
+	ErrNotExist = errors.New("ffs: no such file or directory")
+	ErrNotDir   = errors.New("ffs: not a directory")
+	ErrIsDir    = errors.New("ffs: is a directory")
+	ErrNotEmpty = errors.New("ffs: directory not empty")
+	ErrNoSpace  = errors.New("ffs: no space left on device")
+	ErrNoInodes = errors.New("ffs: out of inodes")
+	ErrNameLen  = errors.New("ffs: name too long")
+)
+
+// Costs is the CPU cost model, calibrated to the paper's 33 MHz i486
+// (NCR 3433). Every file system operation charges these against the shared
+// simulated CPU, which is what makes the compute columns of the paper's
+// tables come out.
+type Costs struct {
+	Syscall      sim.Duration // entry/exit, argument copying
+	DirScanEntry sim.Duration // per directory entry examined
+	DirModify    sim.Duration // entry add/remove bookkeeping
+	InodeOp      sim.Duration // inode encode/decode/update
+	AllocOp      sim.Duration // bitmap search + update
+	PerKBCopy    sim.Duration // user<->cache memory copy per KB
+}
+
+// DefaultCosts approximates the paper's hardware.
+func DefaultCosts() Costs {
+	return Costs{
+		Syscall:      250 * sim.Microsecond,
+		DirScanEntry: 3 * sim.Microsecond,
+		DirModify:    400 * sim.Microsecond,
+		InodeOp:      150 * sim.Microsecond,
+		AllocOp:      500 * sim.Microsecond,
+		PerKBCopy:    70 * sim.Microsecond,
+	}
+}
+
+// Config parameterizes a mount.
+type Config struct {
+	// AllocInit enforces the allocation-initialization dependency for
+	// regular file data blocks (rule 3 for data). Directory and indirect
+	// blocks are always initialized in order, as in real FFS derivatives.
+	AllocInit bool
+	Costs     Costs
+}
+
+// FS is a mounted file system.
+type FS struct {
+	eng   *sim.Engine
+	cpu   *sim.CPU
+	cache *cache.Cache
+	ord   Ordering
+	cfg   Config
+	sb    Superblock
+
+	allocMu    sim.Mutex
+	inoRotor   Ino
+	prefCG     map[Ino]int32
+	dirCGRotor int32
+
+	inoLocks map[Ino]*sim.Mutex
+
+	// Stats.
+	OpCount map[string]int64
+}
+
+// Mount reads the superblock through the cache and attaches the ordering
+// scheme.
+func Mount(eng *sim.Engine, cpu *sim.CPU, c *cache.Cache, ord Ordering, cfg Config, p *sim.Proc) (*FS, error) {
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	fs := &FS{
+		eng:      eng,
+		cpu:      cpu,
+		cache:    c,
+		ord:      ord,
+		cfg:      cfg,
+		inoLocks: make(map[Ino]*sim.Mutex),
+		prefCG:   make(map[Ino]int32),
+		OpCount:  make(map[string]int64),
+	}
+	sbuf := c.Bread(p, 0, BlockFrags)
+	if err := fs.sb.decode(sbuf.Data); err != nil {
+		return nil, err
+	}
+	fs.inoRotor = RootIno + 1
+	c.Hooks = ord.Hooks()
+	ord.Start(fs)
+	return fs, nil
+}
+
+// Superblock returns the mounted superblock (read-only use).
+func (fs *FS) Superblock() Superblock { return fs.sb }
+
+// Cache returns the buffer cache.
+func (fs *FS) Cache() *cache.Cache { return fs.cache }
+
+// Engine returns the simulation engine.
+func (fs *FS) Engine() *sim.Engine { return fs.eng }
+
+// CPU returns the simulated processor.
+func (fs *FS) CPU() *sim.CPU { return fs.cpu }
+
+// Ordering returns the active scheme.
+func (fs *FS) Ordering() Ordering { return fs.ord }
+
+// Config returns the mount configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+func (fs *FS) charge(p *sim.Proc, d sim.Duration) {
+	if fs.cpu != nil {
+		fs.cpu.Use(p, d)
+	}
+}
+
+func (fs *FS) count(op string) { fs.OpCount[op]++ }
+
+// lockInode acquires the per-inode lock.
+func (fs *FS) lockInode(p *sim.Proc, ino Ino) {
+	mu := fs.inoLocks[ino]
+	if mu == nil {
+		mu = &sim.Mutex{}
+		fs.inoLocks[ino] = mu
+	}
+	mu.Lock(p)
+}
+
+func (fs *FS) unlockInode(ino Ino) {
+	fs.inoLocks[ino].Unlock(fs.eng)
+}
+
+// lockPair locks two inodes in canonical order (deadlock avoidance for
+// rename).
+func (fs *FS) lockPair(p *sim.Proc, a, b Ino) {
+	if a == b {
+		fs.lockInode(p, a)
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	fs.lockInode(p, a)
+	fs.lockInode(p, b)
+}
+
+func (fs *FS) unlockPair(a, b Ino) {
+	if a == b {
+		fs.unlockInode(a)
+		return
+	}
+	fs.unlockInode(a)
+	fs.unlockInode(b)
+}
+
+// inodeBuf returns the (held) buffer holding ino's inode-table block and
+// the byte offset of the inode within it. The caller must release it.
+func (fs *FS) inodeBuf(p *sim.Proc, ino Ino) (*cache.Buf, int) {
+	if ino == 0 || uint32(ino) >= fs.sb.NInodes {
+		panic(fmt.Sprintf("ffs: inode %d out of range", ino))
+	}
+	frag, off := fs.sb.InodeFrag(ino)
+	return fs.cache.Bread(p, int64(frag), BlockFrags).Hold(), off
+}
+
+// getInode decodes ino from its table block; the returned buffer is held
+// and must be released by the caller.
+func (fs *FS) getInode(p *sim.Proc, ino Ino) (Inode, *cache.Buf, int) {
+	b, off := fs.inodeBuf(p, ino)
+	var ip Inode
+	ip.decode(b.Data[off : off+InodeSize])
+	return ip, b, off
+}
+
+// putInode encodes ip back into its table block after waiting out any
+// write lock. The caller routes the write through an ordering hook.
+func (fs *FS) putInode(p *sim.Proc, ip *Inode, b *cache.Buf, off int) {
+	fs.cache.PrepareModify(p, b)
+	ip.encode(b.Data[off : off+InodeSize])
+}
+
+// Stat returns the inode's current state (a read-only operation).
+func (fs *FS) Stat(p *sim.Proc, ino Ino) (Inode, error) {
+	fs.count("stat")
+	fs.charge(p, fs.cfg.Costs.Syscall+fs.cfg.Costs.InodeOp)
+	ip, b, _ := fs.getInode(p, ino)
+	fs.rele(b)
+	if !ip.Allocated() {
+		return ip, ErrNotExist
+	}
+	return ip, nil
+}
+
+// Sync flushes all dirty state (delayed writes, workitems) and waits for
+// the disk to go idle. Benchmarks use it to bound an experiment.
+func (fs *FS) Sync(p *sim.Proc) {
+	fs.count("sync")
+	fs.cache.SyncAll(p, 64)
+}

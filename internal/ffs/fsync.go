@@ -1,0 +1,67 @@
+package ffs
+
+import (
+	"metaupdate/internal/sim"
+)
+
+// Fsync makes ino's current contents and inode durable before returning —
+// the paper's SYNCIO semantics ("a SYNCIO flag that tells the file system
+// to guarantee that changes are permanent before returning", section 6.1).
+// Like POSIX fsync, it covers the file, not the directory entry naming it.
+//
+// The implementation works for every ordering scheme: it repeatedly writes
+// the file's dirty blocks (data first, so soft-updates allocation
+// dependencies resolve), then the inode-table block, and drains the
+// workitem queue, until a pass finds nothing left to do. Soft updates may
+// roll updates back in intermediate writes; the rounds converge because
+// every completed write resolves the dependencies the next rollback would
+// need (the scheduler-enforced schemes can instead "encounter lengthy
+// delays when a long list of dependent writes has formed" — visible here
+// as rounds that wait out the driver queue).
+func (fs *FS) Fsync(p *sim.Proc, ino Ino) error {
+	fs.count("fsync")
+	fs.charge(p, fs.cfg.Costs.Syscall)
+	fs.lockInode(p, ino)
+	defer fs.unlockInode(ino)
+
+	const maxRounds = 24
+	for round := 0; round < maxRounds; round++ {
+		ip, ib, _ := fs.getInode(p, ino)
+		if !ip.Allocated() {
+			fs.rele(ib)
+			return ErrNotExist
+		}
+		wrote := false
+		// Flush the file's resident dirty blocks (data and indirect).
+		for _, run := range fs.collectRuns(p, &ip) {
+			b := fs.cache.Lookup(int64(run.Start))
+			if b != nil && b.Dirty {
+				b.Hold()
+				fs.cache.Bwrite(p, b)
+				b.Unhold()
+				wrote = true
+			}
+		}
+		// Then the inode itself.
+		if ib.Dirty {
+			fs.cache.Bwrite(p, ib)
+			wrote = true
+		}
+		fs.rele(ib)
+		// Deferred completions (soft updates workitems) may re-dirty
+		// something; drain them before deciding we are done.
+		fs.cache.RunWork(p)
+		if !wrote {
+			// Re-access the inode block: a scheme's lazy redo would
+			// re-dirty it here; if it stays clean, the on-disk state
+			// carries everything.
+			_, ib2, _ := fs.getInode(p, ino)
+			clean := !ib2.Dirty
+			fs.rele(ib2)
+			if clean {
+				return nil
+			}
+		}
+	}
+	return nil
+}

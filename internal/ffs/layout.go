@@ -1,0 +1,175 @@
+// Package ffs implements the substrate file system: a Berkeley FFS-like
+// UNIX file system (the paper's ufs) with 8 KB blocks, 1 KB fragments,
+// direct/single/double-indirect block maps, variable-length directory
+// entries, and bitmap free maps — everything the five metadata ordering
+// schemes operate on. Structural changes (block allocation, block freeing,
+// link addition, link removal) are routed through the Ordering strategy
+// (see order.go); package ordering and package core provide the five
+// implementations the paper compares.
+package ffs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"metaupdate/internal/cache"
+	"metaupdate/internal/disk"
+)
+
+// Geometry constants (the paper's ufs used 8 KB blocks / 1 KB fragments).
+const (
+	FragSize       = cache.FragSize // 1 KB
+	BlockFrags     = 8
+	BlockSize      = BlockFrags * FragSize // 8 KB
+	InodeSize      = 128
+	InodesPerBlock = BlockSize / InodeSize // 64
+	DirChunk       = 512                   // directory entries never cross a chunk (= sector) boundary
+	NDirect        = 12
+	PtrsPerBlock   = BlockSize / 4 // int32 pointers in an indirect block
+
+	// Maximum file size covered by direct + single + double indirect.
+	MaxBlocks = NDirect + PtrsPerBlock + PtrsPerBlock*PtrsPerBlock
+)
+
+// Ino is an inode number. 0 is invalid; RootIno is the root directory.
+type Ino uint32
+
+// RootIno is the root directory's inode number.
+const RootIno Ino = 2
+
+// Magic identifies a formatted file system.
+const Magic uint32 = 0x19941114 // OSDI '94
+
+// Superblock describes the on-disk layout. All region bounds are fragment
+// numbers.
+type Superblock struct {
+	Magic      uint32
+	TotalFrags int32
+	NInodes    uint32
+	InodeStart int32 // inode table
+	IBmapStart int32 // inode allocation bitmap
+	FBmapStart int32 // fragment allocation bitmap
+	DataStart  int32 // first allocatable data fragment (block aligned)
+}
+
+// InodeFrag returns the fragment holding inode ino, and the byte offset of
+// the inode within that fragment's block.
+func (sb *Superblock) InodeFrag(ino Ino) (blockFrag int32, off int) {
+	idx := int32(ino) / InodesPerBlock // inode-table block index
+	return sb.InodeStart + idx*BlockFrags, int(ino) % InodesPerBlock * InodeSize
+}
+
+// IBmapFrags returns the size of the inode bitmap in fragments.
+func (sb *Superblock) IBmapFrags() int32 {
+	return int32((sb.NInodes + FragSize*8 - 1) / (FragSize * 8))
+}
+
+// FBmapFrags returns the size of the fragment bitmap in fragments.
+func (sb *Superblock) FBmapFrags() int32 {
+	return (sb.TotalFrags + FragSize*8 - 1) / (FragSize * 8)
+}
+
+func (sb *Superblock) encode(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], sb.Magic)
+	le.PutUint32(b[4:], uint32(sb.TotalFrags))
+	le.PutUint32(b[8:], sb.NInodes)
+	le.PutUint32(b[12:], uint32(sb.InodeStart))
+	le.PutUint32(b[16:], uint32(sb.IBmapStart))
+	le.PutUint32(b[20:], uint32(sb.FBmapStart))
+	le.PutUint32(b[24:], uint32(sb.DataStart))
+}
+
+func (sb *Superblock) decode(b []byte) error {
+	le := binary.LittleEndian
+	sb.Magic = le.Uint32(b[0:])
+	if sb.Magic != Magic {
+		return fmt.Errorf("ffs: bad magic %#x", sb.Magic)
+	}
+	sb.TotalFrags = int32(le.Uint32(b[4:]))
+	sb.NInodes = le.Uint32(b[8:])
+	sb.InodeStart = int32(le.Uint32(b[12:]))
+	sb.IBmapStart = int32(le.Uint32(b[16:]))
+	sb.FBmapStart = int32(le.Uint32(b[20:]))
+	sb.DataStart = int32(le.Uint32(b[24:]))
+	return nil
+}
+
+// FormatParams sizes a new file system.
+type FormatParams struct {
+	TotalBytes int64 // file system size; rounded down to whole blocks
+	NInodes    uint32
+}
+
+// Format writes a fresh, empty file system directly onto the disk image
+// (the mkfs path: it runs outside simulated time). The root directory is
+// created with "." and ".." entries.
+func Format(d *disk.Disk, fp FormatParams) (*Superblock, error) {
+	totalFrags := int32(fp.TotalBytes / FragSize / BlockFrags * BlockFrags)
+	if int64(totalFrags)*FragSize > int64(d.Sectors())*disk.SectorSize {
+		return nil, fmt.Errorf("ffs: format size %d exceeds disk", fp.TotalBytes)
+	}
+	if fp.NInodes == 0 {
+		fp.NInodes = 16384
+	}
+	// Round the inode count to a whole number of inode-table blocks.
+	fp.NInodes = (fp.NInodes + InodesPerBlock - 1) / InodesPerBlock * InodesPerBlock
+
+	sb := &Superblock{
+		Magic:      Magic,
+		TotalFrags: totalFrags,
+		NInodes:    fp.NInodes,
+		InodeStart: BlockFrags, // block 0 is the superblock
+	}
+	inodeFrags := int32(fp.NInodes) * InodeSize / FragSize
+	sb.IBmapStart = sb.InodeStart + inodeFrags
+	sb.FBmapStart = sb.IBmapStart + sb.IBmapFrags()
+	dataStart := sb.FBmapStart + sb.FBmapFrags()
+	// Block-align the data region.
+	sb.DataStart = (dataStart + BlockFrags - 1) / BlockFrags * BlockFrags
+	if sb.DataStart >= totalFrags {
+		return nil, fmt.Errorf("ffs: no room for data region")
+	}
+
+	img := d.Image()
+	fragAt := func(f int32) []byte {
+		return img[int64(f)*FragSize : int64(f+1)*FragSize]
+	}
+
+	// Superblock.
+	sb.encode(fragAt(0))
+
+	// Fragment bitmap: metadata region marked allocated.
+	fsetBit := func(f int32) {
+		byteIdx := int64(sb.FBmapStart)*FragSize + int64(f/8)
+		img[byteIdx] |= 1 << (uint(f) % 8)
+	}
+	for f := int32(0); f < sb.DataStart; f++ {
+		fsetBit(f)
+	}
+
+	// Inode bitmap: inodes 0, 1 (reserved) and the root.
+	isetBit := func(ino Ino) {
+		byteIdx := int64(sb.IBmapStart)*FragSize + int64(ino/8)
+		img[byteIdx] |= 1 << (uint(ino) % 8)
+	}
+	isetBit(0)
+	isetBit(1)
+	isetBit(RootIno)
+
+	// Root directory: one fragment of directory data.
+	rootFrag := sb.DataStart
+	for f := rootFrag; f < rootFrag+1; f++ {
+		fsetBit(f)
+	}
+	dirData := fragAt(rootFrag)
+	initDirChunks(dirData)
+	mustAddEntryRaw(dirData, ".", RootIno, FtypeDir)
+	mustAddEntryRaw(dirData, "..", RootIno, FtypeDir)
+
+	root := Inode{Mode: ModeDir, Nlink: 2, Size: FragSize}
+	root.Direct[0] = rootFrag
+	blockFrag, off := sb.InodeFrag(RootIno)
+	root.encode(img[int64(blockFrag)*FragSize+int64(off):])
+	return sb, nil
+}

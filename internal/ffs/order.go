@@ -1,0 +1,137 @@
+package ffs
+
+import (
+	"metaupdate/internal/cache"
+	"metaupdate/internal/sim"
+)
+
+// Ordering is the strategy interface implemented by the five metadata
+// update schemes the paper compares (Conventional, Scheduler Flag,
+// Scheduler Chains, Soft Updates, No Order).
+//
+// The file system calls the hooks at precisely the points where the paper's
+// three ordering rules create update dependencies:
+//
+//	(1) never reset the old pointer to a resource before the new pointer
+//	    has been set,
+//	(2) never re-use a resource before nullifying all previous pointers,
+//	(3) never point to a structure before it has been initialized.
+//
+// Call order within one structural change matters and is guaranteed by the
+// file system:
+//
+//	block allocation: AllocInit (new block initialized in memory, pointer
+//	    NOT yet set) -> pointer and size stored in owner -> AllocPtr.
+//	link addition:    AddInode (inode initialized / link count bumped) ->
+//	    entry stored in directory block -> AddEntry.
+//	link removal:     entry cleared in directory block -> RemoveEntry; the
+//	    scheme must (eventually) call FS.FinishRemove exactly once.
+//	block freeing:    pointers cleared in owner buffer -> FreeBlocks; the
+//	    scheme must (eventually) call FS.ApplyFree exactly once.
+type Ordering interface {
+	Name() string
+	// Start attaches the scheme to a mounted file system.
+	Start(fs *FS)
+	// Hooks returns the buffer-cache hook implementation (soft updates
+	// does its undo/redo there; other schemes return cache.NopHooks).
+	Hooks() cache.Hooks
+
+	AllocInit(p *sim.Proc, rec *AllocRec)
+	AllocPtr(p *sim.Proc, rec *AllocRec)
+	AddInode(p *sim.Proc, rec *LinkRec)
+	AddEntry(p *sim.Proc, rec *LinkRec)
+	RemoveEntry(p *sim.Proc, rec *RemRec)
+	FreeBlocks(p *sim.Proc, rec *FreeRec)
+
+	// MetaUpdate covers metadata changes with no ordering requirement
+	// (bitmaps, timestamps, sizes); DataWrite covers file data.
+	MetaUpdate(p *sim.Proc, b *cache.Buf)
+	DataWrite(p *sim.Proc, b *cache.Buf)
+}
+
+// FragRun is a contiguous run of fragments.
+type FragRun struct {
+	Start int32
+	N     int
+}
+
+// AllocRec describes one block (or fragment-run) allocation.
+type AllocRec struct {
+	FS *FS
+
+	NewBuf   *cache.Buf // the new block's buffer, initialized in memory
+	NewFrag  int32      // first fragment of the new run
+	NewNFr   int        // run length in fragments
+	IsDir    bool       // new block holds directory entries
+	IsIndir  bool       // new block is an indirect pointer block
+	DataInit []byte     // contents at AllocInit time (== NewBuf.Data)
+
+	// Owner: where the pointer to the new block lives.
+	OwnerBuf     *cache.Buf // inode table block, or indirect block
+	OwnerIno     Ino        // inode that owns the pointer
+	OwnerIsIndir bool       // pointer lives in an indirect block
+	PtrOff       int        // byte offset of the int32 pointer in OwnerBuf.Data
+	OldPtr       int32      // prior pointer value (non-zero for fragment moves)
+	OldSize      uint64     // inode size before the allocation
+	NewSize      uint64     // inode size after (undo target for soft updates)
+
+	// MovedFrom is the fragment run vacated by a fragment extension that
+	// had to move the tail to a new location; it must not be re-used until
+	// the new pointer is safely on disk (rule 2).
+	MovedFrom *FragRun
+}
+
+// LinkRec describes one link addition (create, mkdir, link, rename target).
+type LinkRec struct {
+	FS *FS
+
+	Ino      Ino
+	InoBuf   *cache.Buf // inode table block holding Ino, already updated
+	NewInode bool       // inode freshly allocated (vs. existing, for link)
+
+	DirIno   Ino
+	DirBuf   *cache.Buf // directory block; entry already stored (AddEntry)
+	EntryOff int        // byte offset of the entry in DirBuf.Data
+}
+
+// RemRec describes one link removal.
+type RemRec struct {
+	FS *FS
+
+	Ino      Ino // inode the removed entry pointed to
+	DirIno   Ino
+	DirBuf   *cache.Buf
+	EntryOff int // offset the entry occupied
+
+	// DirLocked reports whether the process calling FS.FinishRemove still
+	// holds DirIno's inode lock (true on the synchronous path out of
+	// unlink/rmdir/rename; false when a scheme defers the removal to a
+	// workitem). FinishRemove uses it to avoid self-deadlock when it must
+	// update the parent. InoLocked is the analogous hint for Ino itself
+	// (directory rename removes a ".." reference while holding the old
+	// parent's lock).
+	DirLocked bool
+	InoLocked bool
+
+	// LinkOnly restricts FinishRemove to a link-count decrement even when
+	// Ino is a directory (directory rename: the old parent loses its ".."
+	// reference but is not itself being removed).
+	LinkOnly bool
+
+	// PendingAdd is set by the file system when the removed entry still
+	// has an unresolved link-addition dependency in this scheme (only soft
+	// updates sets up such state); the scheme may then cancel both — the
+	// add and remove are serviced with no disk writes at all.
+	PendingAdd bool
+}
+
+// FreeRec describes freed resources: fragment runs and, optionally, the
+// inode itself (when a file is removed, mode has been cleared in OwnerBuf).
+type FreeRec struct {
+	FS *FS
+
+	OwnerIno Ino
+	OwnerBuf *cache.Buf // buffer whose pointers were cleared (inode block)
+	Frags    []FragRun
+	FreeIno  Ino // 0 if only blocks are being freed
+}

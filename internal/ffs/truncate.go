@@ -1,0 +1,96 @@
+package ffs
+
+import (
+	"metaupdate/internal/sim"
+)
+
+// Truncate shrinks ino to newSize bytes. Freed fragments obey rule 2
+// through the ordering scheme's FreeBlocks hook: they are not re-usable
+// until the shrunken inode could be durable.
+//
+// Supported shapes (the substrate's files are dense):
+//   - newSize == 0 for any file;
+//   - any newSize <= current size while both old and new sizes stay within
+//     the direct blocks (files up to 96 KB).
+//
+// Anything else returns ErrIsDir/ErrNotExist as appropriate or panics on
+// misuse in tests; callers needing indirect-aware partial truncation should
+// remove and rewrite (as every workload in the paper does).
+func (fs *FS) Truncate(p *sim.Proc, ino Ino, newSize uint64) error {
+	fs.count("truncate")
+	fs.charge(p, fs.cfg.Costs.Syscall)
+	fs.lockInode(p, ino)
+	defer fs.unlockInode(ino)
+
+	ip, ib, ioff := fs.getInode(p, ino)
+	defer fs.rele(ib)
+	if !ip.Allocated() {
+		return ErrNotExist
+	}
+	if ip.IsDir() {
+		return ErrIsDir
+	}
+	if newSize >= ip.Size {
+		return nil // grow-by-truncate (holes) unsupported; no-op like before
+	}
+	if newSize == 0 {
+		// Full truncation reuses the freeFile machinery minus the inode
+		// free: clear every pointer, keep the inode allocated.
+		runs := fs.collectRuns(p, &ip)
+		fs.charge(p, fs.cfg.Costs.InodeOp)
+		fs.cache.PrepareModify(p, ib)
+		ip.Size = 0
+		for i := range ip.Direct {
+			ip.Direct[i] = 0
+		}
+		ip.Indir, ip.Dindir = 0, 0
+		fs.putInode(p, &ip, ib, ioff)
+		rec := &FreeRec{FS: fs, OwnerIno: ino, OwnerBuf: ib, Frags: runs}
+		fs.ord.FreeBlocks(p, rec)
+		return nil
+	}
+	if blocksOf(ip.Size) > NDirect {
+		return ErrNoSpace // partial truncation across indirects unsupported
+	}
+
+	oldBlocks := blocksOf(ip.Size)
+	newBlocks := blocksOf(newSize)
+	var runs []FragRun
+	fs.charge(p, fs.cfg.Costs.InodeOp)
+	fs.cache.PrepareModify(p, ib)
+	// Whole blocks past the new end.
+	for bi := newBlocks; bi < oldBlocks; bi++ {
+		if ip.Direct[bi] != 0 {
+			runs = append(runs, FragRun{Start: ip.Direct[bi], N: blockRunLen(ip.Size, bi)})
+			ip.Direct[bi] = 0
+		}
+	}
+	// The (new) final block may shed tail fragments.
+	if newBlocks > 0 && ip.Direct[newBlocks-1] != 0 {
+		oldNF := BlockFrags
+		if newBlocks == oldBlocks {
+			oldNF = lastBlockFrags(ip.Size)
+		}
+		newNF := lastBlockFrags(newSize)
+		if newNF < oldNF {
+			runs = append(runs, FragRun{
+				Start: ip.Direct[newBlocks-1] + int32(newNF),
+				N:     oldNF - newNF,
+			})
+			// Shrink the cached buffer to the surviving fragments so later
+			// Breads agree on its size. The freed tail is re-cacheable by
+			// its next owner.
+			if b := fs.cache.Lookup(int64(ip.Direct[newBlocks-1])); b != nil {
+				b.Hold()
+				fs.cache.PrepareModify(p, b)
+				fs.cache.Resize(b, newNF)
+				b.Unhold()
+			}
+		}
+	}
+	ip.Size = newSize
+	fs.putInode(p, &ip, ib, ioff)
+	rec := &FreeRec{FS: fs, OwnerIno: ino, OwnerBuf: ib, Frags: runs}
+	fs.ord.FreeBlocks(p, rec)
+	return nil
+}

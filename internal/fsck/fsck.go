@@ -1,0 +1,485 @@
+// Package fsck verifies the structural integrity of a raw file system
+// image — the role the fsck utility plays for the paper's schemes, all of
+// which "prevent the loss of structural integrity" but "require assistance
+// when recovering from system failure".
+//
+// The checker distinguishes two classes of findings:
+//
+//   - Violations: states fsck cannot repair without losing integrity —
+//     cross-linked blocks, pointers outside the data region, directory
+//     entries naming unallocated inodes, type mismatches, and link counts
+//     lower than the number of on-disk references (premature free). The
+//     paper's ordering rules exist precisely to prevent these.
+//
+//   - Repairables: resource leaks — blocks or inodes marked allocated but
+//     unreferenced, link counts higher than the reference count, free-map
+//     entries out of date. All schemes (even Conventional) may leak across
+//     a crash; fsck reclaims them mechanically.
+//
+// It also supports the allocation-initialization security check: with a
+// workload that stamps every data fragment with its owner's inode number,
+// ContentViolations detects file blocks that leaked another (deleted)
+// file's contents — the security hole of running without allocation
+// initialization.
+package fsck
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"metaupdate/internal/ffs"
+)
+
+// Kind classifies a finding.
+type Kind int
+
+// Finding kinds. Violations first, repairables after KindRepairable.
+const (
+	BadSuperblock Kind = iota
+	CrossLink
+	BadPointer
+	DanglingEntry
+	TypeMismatch
+	LinkUndercount
+	BadDirFormat
+	UninitializedData
+
+	kindRepairableBoundary
+
+	LinkOvercount
+	LeakedBlock
+	LeakedInode
+	BitmapStale
+	// ShortFile: a file's size implies blocks its pointers do not provide
+	// (a size update outran a rolled-back allocation); fsck truncates.
+	ShortFile
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BadSuperblock:
+		return "BadSuperblock"
+	case CrossLink:
+		return "CrossLink"
+	case BadPointer:
+		return "BadPointer"
+	case DanglingEntry:
+		return "DanglingEntry"
+	case TypeMismatch:
+		return "TypeMismatch"
+	case LinkUndercount:
+		return "LinkUndercount"
+	case BadDirFormat:
+		return "BadDirFormat"
+	case UninitializedData:
+		return "UninitializedData"
+	case LinkOvercount:
+		return "LinkOvercount"
+	case LeakedBlock:
+		return "LeakedBlock"
+	case LeakedInode:
+		return "LeakedInode"
+	case BitmapStale:
+		return "BitmapStale"
+	case ShortFile:
+		return "ShortFile"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Violation reports whether the kind is an unrepairable integrity loss.
+func (k Kind) Violation() bool { return k < kindRepairableBoundary }
+
+// Finding is one fsck observation.
+type Finding struct {
+	Kind   Kind
+	Ino    ffs.Ino
+	Detail string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s(ino %d): %s", f.Kind, f.Ino, f.Detail)
+}
+
+// Report is the outcome of a Check.
+type Report struct {
+	Findings []Finding
+	// Refs[ino] is the number of directory entries naming ino.
+	Refs map[ffs.Ino]int
+	// AllocatedInodes and ReferencedFrags summarize the walk.
+	AllocatedInodes int
+	ReferencedFrags int
+}
+
+// Violations returns only the unrepairable findings.
+func (r *Report) Violations() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Kind.Violation() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Repairables returns only the fsck-repairable findings.
+func (r *Report) Repairables() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Kind.Violation() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (r *Report) add(k Kind, ino ffs.Ino, format string, args ...interface{}) {
+	r.Findings = append(r.Findings, Finding{Kind: k, Ino: ino, Detail: fmt.Sprintf(format, args...)})
+}
+
+type checker struct {
+	img []byte
+	sb  ffs.Superblock
+	rep *Report
+
+	// fragOwner[frag - DataStart] = inode that references it (0 = none).
+	fragOwner []ffs.Ino
+}
+
+func (c *checker) frag(f int32) []byte {
+	return c.img[int64(f)*ffs.FragSize : int64(f+1)*ffs.FragSize]
+}
+
+// Check walks the image and returns the integrity report.
+func Check(img []byte) *Report {
+	rep := &Report{Refs: make(map[ffs.Ino]int)}
+	c := &checker{img: img, rep: rep}
+	if err := decodeSB(img, &c.sb); err != nil {
+		rep.add(BadSuperblock, 0, "%v", err)
+		return rep
+	}
+	c.fragOwner = make([]ffs.Ino, c.sb.TotalFrags-c.sb.DataStart)
+
+	// Pass 1: walk every allocated inode's block map, claiming fragments.
+	inodes := make(map[ffs.Ino]ffs.Inode)
+	for ino := ffs.Ino(2); uint32(ino) < c.sb.NInodes; ino++ {
+		ip := c.readInode(ino)
+		if !ip.Allocated() {
+			continue
+		}
+		rep.AllocatedInodes++
+		if ip.Mode != ffs.ModeFile && ip.Mode != ffs.ModeDir {
+			rep.add(TypeMismatch, ino, "bad mode %#x", ip.Mode)
+			continue
+		}
+		inodes[ino] = ip
+		c.claimFile(ino, &ip)
+	}
+
+	// Pass 2: walk the directory tree from the root, counting references
+	// and validating entries.
+	if root, ok := inodes[ffs.RootIno]; !ok || !root.IsDir() {
+		rep.add(BadSuperblock, ffs.RootIno, "root inode missing or not a directory")
+		return rep
+	}
+	for ino, ip := range inodes {
+		if ip.IsDir() {
+			c.checkDir(ino, ip, inodes)
+		}
+	}
+
+	// Pass 3: link counts. An on-disk count lower than the reference count
+	// risks premature free — integrity violation. Higher is a repairable
+	// leak. Directories: Refs counts the parent entry and ".", plus one
+	// ".." per child directory, matching the FFS convention.
+	for ino, ip := range inodes {
+		refs := rep.Refs[ino]
+		if int(ip.Nlink) < refs {
+			rep.add(LinkUndercount, ino, "nlink %d < %d references", ip.Nlink, refs)
+		} else if int(ip.Nlink) > refs {
+			rep.add(LinkOvercount, ino, "nlink %d > %d references", ip.Nlink, refs)
+		}
+	}
+	// Pass 4: bitmap reconciliation (repairable either way, but referenced-
+	// but-free is the precursor to cross-links, so it is worth reporting).
+	c.checkBitmaps(inodes)
+	return rep
+}
+
+func decodeSB(img []byte, sb *ffs.Superblock) error {
+	le := binary.LittleEndian
+	if le.Uint32(img[0:]) != ffs.Magic {
+		return fmt.Errorf("bad magic %#x", le.Uint32(img[0:]))
+	}
+	sb.Magic = le.Uint32(img[0:])
+	sb.TotalFrags = int32(le.Uint32(img[4:]))
+	sb.NInodes = le.Uint32(img[8:])
+	sb.InodeStart = int32(le.Uint32(img[12:]))
+	sb.IBmapStart = int32(le.Uint32(img[16:]))
+	sb.FBmapStart = int32(le.Uint32(img[20:]))
+	sb.DataStart = int32(le.Uint32(img[24:]))
+	return nil
+}
+
+func (c *checker) readInode(ino ffs.Ino) ffs.Inode {
+	frag, off := c.sb.InodeFrag(ino)
+	return ffs.DecodeInode(c.img[int64(frag)*ffs.FragSize+int64(off):])
+}
+
+// claim records ino's ownership of frags [start, start+n), reporting range
+// errors and cross-links.
+func (c *checker) claim(ino ffs.Ino, start int32, n int) bool {
+	if start < c.sb.DataStart || start+int32(n) > c.sb.TotalFrags {
+		c.rep.add(BadPointer, ino, "fragment run [%d,%d) outside data region", start, start+int32(n))
+		return false
+	}
+	for i := int32(0); i < int32(n); i++ {
+		idx := start + i - c.sb.DataStart
+		if owner := c.fragOwner[idx]; owner != 0 && owner != ino {
+			c.rep.add(CrossLink, ino, "fragment %d also owned by inode %d", start+i, owner)
+			continue
+		}
+		c.fragOwner[idx] = ino
+		c.rep.ReferencedFrags++
+	}
+	return true
+}
+
+// claimFile walks ip's block map.
+func (c *checker) claimFile(ino ffs.Ino, ip *ffs.Inode) {
+	nblocks := (int(ip.Size) + ffs.BlockSize - 1) / ffs.BlockSize
+	runLen := func(bi int) int {
+		if bi == nblocks-1 {
+			rem := int(ip.Size) % ffs.BlockSize
+			if rem == 0 {
+				return ffs.BlockFrags
+			}
+			return (rem + ffs.FragSize - 1) / ffs.FragSize
+		}
+		return ffs.BlockFrags
+	}
+	bi := 0
+	for ; bi < nblocks && bi < ffs.NDirect; bi++ {
+		if ip.Direct[bi] == 0 {
+			c.rep.add(ShortFile, ino, "size implies direct block %d but it is unset", bi)
+			continue
+		}
+		c.claim(ino, ip.Direct[bi], runLen(bi))
+	}
+	if bi < nblocks && ip.Indir == 0 {
+		c.rep.add(ShortFile, ino, "size %d implies an indirect block but none is set", ip.Size)
+		return
+	}
+	if ip.Indir != 0 {
+		if c.claim(ino, ip.Indir, ffs.BlockFrags) {
+			// An indirect block spans BlockFrags fragments.
+			data := c.img[int64(ip.Indir)*ffs.FragSize : int64(ip.Indir+ffs.BlockFrags)*ffs.FragSize]
+			for i := 0; i < ffs.PtrsPerBlock && bi < nblocks; i, bi = i+1, bi+1 {
+				ptr := int32(binary.LittleEndian.Uint32(data[i*4:]))
+				if ptr == 0 {
+					c.rep.add(ShortFile, ino, "hole at indirect slot %d", i)
+					continue
+				}
+				c.claim(ino, ptr, runLen(bi))
+			}
+		} else {
+			bi += ffs.PtrsPerBlock
+		}
+	}
+	if ip.Dindir != 0 {
+		if c.claim(ino, ip.Dindir, ffs.BlockFrags) {
+			ddata := c.img[int64(ip.Dindir)*ffs.FragSize : int64(ip.Dindir+ffs.BlockFrags)*ffs.FragSize]
+			for l1 := 0; l1 < ffs.PtrsPerBlock && bi < nblocks; l1++ {
+				l1ptr := int32(binary.LittleEndian.Uint32(ddata[l1*4:]))
+				if l1ptr == 0 {
+					c.rep.add(ShortFile, ino, "hole at dindirect slot %d", l1)
+					bi += ffs.PtrsPerBlock
+					continue
+				}
+				if !c.claim(ino, l1ptr, ffs.BlockFrags) {
+					bi += ffs.PtrsPerBlock
+					continue
+				}
+				ldata := c.img[int64(l1ptr)*ffs.FragSize : int64(l1ptr+ffs.BlockFrags)*ffs.FragSize]
+				for l2 := 0; l2 < ffs.PtrsPerBlock && bi < nblocks; l2, bi = l2+1, bi+1 {
+					ptr := int32(binary.LittleEndian.Uint32(ldata[l2*4:]))
+					if ptr == 0 {
+						c.rep.add(ShortFile, ino, "hole under dindirect")
+						continue
+					}
+					c.claim(ino, ptr, runLen(bi))
+				}
+			}
+		}
+	}
+}
+
+// dirData materializes a directory's contents from the image.
+func (c *checker) dirData(ino ffs.Ino, ip ffs.Inode) []byte {
+	out := make([]byte, 0, ip.Size)
+	nblocks := (int(ip.Size) + ffs.BlockSize - 1) / ffs.BlockSize
+	for bi := 0; bi < nblocks && bi < ffs.NDirect; bi++ {
+		ptr := ip.Direct[bi]
+		if ptr == 0 || ptr < c.sb.DataStart || ptr >= c.sb.TotalFrags {
+			return out // already reported
+		}
+		n := ffs.BlockSize
+		if rem := int(ip.Size) - bi*ffs.BlockSize; rem < n {
+			n = (rem + ffs.FragSize - 1) / ffs.FragSize * ffs.FragSize
+		}
+		out = append(out, c.img[int64(ptr)*ffs.FragSize:int64(ptr)*ffs.FragSize+int64(n)]...)
+	}
+	if int(ip.Size) < len(out) {
+		out = out[:ip.Size]
+	}
+	return out
+}
+
+func (c *checker) checkDir(ino ffs.Ino, ip ffs.Inode, inodes map[ffs.Ino]ffs.Inode) {
+	if ip.Size == 0 {
+		// A directory whose first block has not reached the disk yet (a
+		// rolled-back or not-yet-written mkdir). Structurally harmless:
+		// nothing references anything.
+		return
+	}
+	data := c.dirData(ino, ip)
+	sawDot, sawDotdot := false, false
+	for chunk := 0; chunk+ffs.DirChunk <= len(data); chunk += ffs.DirChunk {
+		off := chunk
+		for off < chunk+ffs.DirChunk {
+			if off+8 > len(data) {
+				break
+			}
+			le := binary.LittleEndian
+			entIno := ffs.Ino(le.Uint32(data[off:]))
+			reclen := int(le.Uint16(data[off+4:]))
+			namelen := int(data[off+6])
+			ftype := data[off+7]
+			if reclen < 8 || off+reclen > chunk+ffs.DirChunk || (entIno != 0 && off+8+namelen > off+reclen) {
+				c.rep.add(BadDirFormat, ino, "bad entry at offset %d (reclen %d)", off, reclen)
+				break
+			}
+			if entIno != 0 {
+				name := string(data[off+8 : off+8+namelen])
+				c.rep.Refs[entIno]++
+				target, ok := inodes[entIno]
+				switch {
+				case !ok:
+					c.rep.add(DanglingEntry, ino, "entry %q names unallocated inode %d", name, entIno)
+				case ftype == ffs.FtypeDir && !target.IsDir(),
+					ftype == ffs.FtypeFile && target.IsDir():
+					c.rep.add(TypeMismatch, ino, "entry %q type %d vs mode %#x", name, ftype, target.Mode)
+				}
+				switch name {
+				case ".":
+					sawDot = true
+					if entIno != ino {
+						c.rep.add(TypeMismatch, ino, "'.' names %d", entIno)
+					}
+				case "..":
+					sawDotdot = true
+				}
+			}
+			off += reclen
+		}
+	}
+	if !sawDot || !sawDotdot {
+		c.rep.add(BadDirFormat, ino, "missing '.' or '..'")
+	}
+}
+
+func (c *checker) checkBitmaps(inodes map[ffs.Ino]ffs.Inode) {
+	ibm := c.img[int64(c.sb.IBmapStart)*ffs.FragSize:]
+	for ino := ffs.Ino(2); uint32(ino) < c.sb.NInodes; ino++ {
+		set := ibm[ino/8]&(1<<(uint(ino)%8)) != 0
+		_, used := inodes[ino]
+		if used && !set {
+			c.rep.add(BitmapStale, ino, "allocated inode marked free")
+		} else if !used && set && ino > ffs.RootIno {
+			c.rep.add(LeakedInode, ino, "free inode marked allocated")
+		}
+	}
+	fbm := c.img[int64(c.sb.FBmapStart)*ffs.FragSize:]
+	leaks, stale := 0, 0
+	for f := c.sb.DataStart; f < c.sb.TotalFrags; f++ {
+		set := fbm[f/8]&(1<<(uint(f)%8)) != 0
+		owned := c.fragOwner[f-c.sb.DataStart] != 0
+		if owned && !set {
+			stale++
+		} else if !owned && set {
+			leaks++
+		}
+	}
+	if stale > 0 {
+		c.rep.add(BitmapStale, 0, "%d referenced fragments marked free", stale)
+	}
+	if leaks > 0 {
+		c.rep.add(LeakedBlock, 0, "%d fragments leaked (allocated but unreferenced)", leaks)
+	}
+}
+
+// DataMarkerMagic stamps crash-test file fragments (see ContentViolations).
+const DataMarkerMagic uint32 = 0xFEEDFACE
+
+// StampFragment writes the content marker into a 1 KB-aligned buffer slice
+// so ContentViolations can attribute on-disk data to its owner.
+func StampFragment(frag []byte, ino ffs.Ino) {
+	binary.LittleEndian.PutUint32(frag[0:], DataMarkerMagic)
+	binary.LittleEndian.PutUint32(frag[4:], uint32(ino))
+}
+
+// MakeStampedData builds n bytes of file content with every fragment
+// stamped for ino (the crash workloads write files with this).
+func MakeStampedData(ino ffs.Ino, n int) []byte {
+	b := make([]byte, n)
+	for off := 0; off < n; off += ffs.FragSize {
+		end := off + 8
+		if end > n {
+			break
+		}
+		StampFragment(b[off:], ino)
+	}
+	return b
+}
+
+// ContentViolations scans every file's data fragments. A fragment must be
+// all-zero (never written), or stamped with its owner. A fragment stamped
+// with a DIFFERENT inode is the allocation-initialization failure: the file
+// exposes another (deleted) file's contents — the paper's security hole.
+func ContentViolations(img []byte) []Finding {
+	var sb ffs.Superblock
+	if err := decodeSB(img, &sb); err != nil {
+		return []Finding{{Kind: BadSuperblock, Detail: err.Error()}}
+	}
+	var out []Finding
+	c := &checker{img: img, sb: sb}
+	for ino := ffs.Ino(2); uint32(ino) < sb.NInodes; ino++ {
+		ip := c.readInode(ino)
+		if ip.Mode != ffs.ModeFile {
+			continue
+		}
+		nblocks := (int(ip.Size) + ffs.BlockSize - 1) / ffs.BlockSize
+		for bi := 0; bi < nblocks && bi < ffs.NDirect; bi++ {
+			ptr := ip.Direct[bi]
+			if ptr < sb.DataStart || ptr >= sb.TotalFrags {
+				continue
+			}
+			nf := ffs.BlockFrags
+			if bi == nblocks-1 {
+				if rem := int(ip.Size) % ffs.BlockSize; rem != 0 {
+					nf = (rem + ffs.FragSize - 1) / ffs.FragSize
+				}
+			}
+			for i := int32(0); i < int32(nf); i++ {
+				fr := c.frag(ptr + i)
+				magic := binary.LittleEndian.Uint32(fr[0:])
+				owner := ffs.Ino(binary.LittleEndian.Uint32(fr[4:]))
+				if magic == DataMarkerMagic && owner != ino {
+					out = append(out, Finding{Kind: UninitializedData, Ino: ino,
+						Detail: fmt.Sprintf("fragment %d contains inode %d's data", ptr+i, owner)})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package fsck_test
+
+import (
+	"testing"
+
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/fsck"
+	"metaupdate/internal/sim"
+)
+
+// After Repair, a crashed image must pass Check with zero findings — for
+// every scheme, safe or not, at any crash point. This is the paper's
+// recovery story: fsck assistance restores a usable file system; the
+// difference between the schemes is only whether *integrity* (and data)
+// survived until fsck ran.
+func TestRepairProducesCleanImage(t *testing.T) {
+	for _, scheme := range []string{"conventional", "flag", "chains", "softupdates", "noorder"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			total := totalRuntime(t, scheme, true)
+			for pct := 10; pct <= 90; pct += 20 {
+				at := total * sim.Time(pct) / 100
+				img := crashAt(t, scheme, true, at)
+				fsck.Repair(img)
+				rep := fsck.Check(img)
+				if len(rep.Findings) != 0 {
+					t.Fatalf("%s at %d%%: repaired image still has findings: %v",
+						scheme, pct, rep.Findings[0])
+				}
+			}
+		})
+	}
+}
+
+func TestRepairReportsActions(t *testing.T) {
+	// A crashed No Order image mid-churn needs actual repairs.
+	total := totalRuntime(t, "noorder", false)
+	img := crashAt(t, "noorder", false, total/2)
+	before := fsck.Check(img)
+	actions := fsck.Repair(img)
+	if len(before.Findings) > 0 && len(actions) == 0 {
+		t.Fatalf("fsck found %d problems but Repair did nothing", len(before.Findings))
+	}
+}
+
+func TestRepairClampsLinkCounts(t *testing.T) {
+	r := buildCrashRig(t, "noorder", false, metadataChurn)
+	r.eng.Run()
+	img := r.dsk.CloneImage()
+	sb := superblockOf(t, img)
+	// Inflate some link count.
+	var victim ffs.Ino
+	for ino := ffs.Ino(3); uint32(ino) < sb.NInodes; ino++ {
+		frag, off := sb.InodeFrag(ino)
+		ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):])
+		if ip.Mode == ffs.ModeFile {
+			victim = ino
+			ip.Nlink = 9
+			ffs.EncodeInode(&ip, img[int64(frag)*ffs.FragSize+int64(off):])
+			break
+		}
+	}
+	if victim == 0 {
+		t.Skip("no file inode")
+	}
+	fsck.Repair(img)
+	frag, off := sb.InodeFrag(victim)
+	ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):])
+	if ip.Nlink == 9 {
+		t.Fatal("link count not clamped")
+	}
+	if v := fsck.Check(img).Violations(); len(v) != 0 {
+		t.Fatalf("still violating after repair: %v", v)
+	}
+}
+
+func TestRepairClearsDanglingEntries(t *testing.T) {
+	r := buildCrashRig(t, "noorder", false, metadataChurn)
+	r.eng.Run()
+	img := r.dsk.CloneImage()
+	sb := superblockOf(t, img)
+	// Clear a referenced inode to manufacture a dangling entry.
+	for ino := ffs.Ino(3); uint32(ino) < sb.NInodes; ino++ {
+		frag, off := sb.InodeFrag(ino)
+		ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):])
+		if ip.Mode == ffs.ModeFile {
+			cleared := ffs.Inode{}
+			ffs.EncodeInode(&cleared, img[int64(frag)*ffs.FragSize+int64(off):])
+			break
+		}
+	}
+	if len(fsck.Check(img).Violations()) == 0 {
+		t.Skip("no dangling entry was produced")
+	}
+	fsck.Repair(img)
+	if v := fsck.Check(img).Violations(); len(v) != 0 {
+		t.Fatalf("dangling entry survived repair: %v", v)
+	}
+}
+
+func TestRepairTruncatesBadPointers(t *testing.T) {
+	r := buildCrashRig(t, "noorder", false, metadataChurn)
+	r.eng.Run()
+	img := r.dsk.CloneImage()
+	sb := superblockOf(t, img)
+	for ino := ffs.Ino(3); uint32(ino) < sb.NInodes; ino++ {
+		frag, off := sb.InodeFrag(ino)
+		ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):])
+		if ip.Mode == ffs.ModeFile && ip.Size > ffs.BlockSize {
+			ip.Direct[1] = sb.TotalFrags + 100 // out of range
+			ffs.EncodeInode(&ip, img[int64(frag)*ffs.FragSize+int64(off):])
+			break
+		}
+	}
+	fsck.Repair(img)
+	if v := fsck.Check(img).Violations(); len(v) != 0 {
+		t.Fatalf("bad pointer survived repair: %v", v)
+	}
+}

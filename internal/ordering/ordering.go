@@ -1,0 +1,146 @@
+// Package ordering implements four of the five metadata update schemes the
+// paper compares: No Order (the unsafe delayed-write baseline), the
+// Conventional synchronous-write approach, the scheduler-enforced ordering
+// flag of section 3.1, and scheduler chains (section 3.2). Soft updates,
+// the paper's contribution, lives in package core.
+package ordering
+
+import (
+	"metaupdate/internal/cache"
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/sim"
+)
+
+// NoOrder ignores every ordering constraint and uses delayed writes for
+// all metadata updates — the paper's baseline and performance goal, with
+// the same lack of reliability as the "delayed mount" option it cites.
+type NoOrder struct {
+	fs *ffs.FS
+}
+
+// NewNoOrder returns the No Order scheme.
+func NewNoOrder() *NoOrder { return &NoOrder{} }
+
+// Name implements ffs.Ordering.
+func (o *NoOrder) Name() string { return "No Order" }
+
+// Start implements ffs.Ordering.
+func (o *NoOrder) Start(fs *ffs.FS) { o.fs = fs }
+
+// Hooks implements ffs.Ordering.
+func (o *NoOrder) Hooks() cache.Hooks { return cache.NopHooks{} }
+
+func (o *NoOrder) delay(b *cache.Buf) { o.fs.Cache().Bdwrite(b) }
+
+// AllocInit implements ffs.Ordering.
+func (o *NoOrder) AllocInit(p *sim.Proc, rec *ffs.AllocRec) { o.delay(rec.NewBuf) }
+
+// AllocPtr implements ffs.Ordering.
+func (o *NoOrder) AllocPtr(p *sim.Proc, rec *ffs.AllocRec) {
+	o.delay(rec.OwnerBuf)
+	if rec.MovedFrom != nil {
+		rec.FS.ApplyFree(p, &ffs.FreeRec{FS: rec.FS, Frags: []ffs.FragRun{*rec.MovedFrom}})
+	}
+}
+
+// AddInode implements ffs.Ordering.
+func (o *NoOrder) AddInode(p *sim.Proc, rec *ffs.LinkRec) { o.delay(rec.InoBuf) }
+
+// AddEntry implements ffs.Ordering.
+func (o *NoOrder) AddEntry(p *sim.Proc, rec *ffs.LinkRec) { o.delay(rec.DirBuf) }
+
+// RemoveEntry implements ffs.Ordering.
+func (o *NoOrder) RemoveEntry(p *sim.Proc, rec *ffs.RemRec) {
+	o.delay(rec.DirBuf)
+	rec.FS.FinishRemove(p, rec)
+}
+
+// FreeBlocks implements ffs.Ordering.
+func (o *NoOrder) FreeBlocks(p *sim.Proc, rec *ffs.FreeRec) {
+	o.delay(rec.OwnerBuf)
+	rec.FS.ApplyFree(p, rec)
+}
+
+// MetaUpdate implements ffs.Ordering.
+func (o *NoOrder) MetaUpdate(p *sim.Proc, b *cache.Buf) { o.delay(b) }
+
+// DataWrite implements ffs.Ordering.
+func (o *NoOrder) DataWrite(p *sim.Proc, b *cache.Buf) { o.delay(b) }
+
+// Conventional sequences metadata updates with synchronous writes, the way
+// the original UNIX file system and FFS do. The write that later updates
+// depend on is synchronous; the last write of each sequence is delayed
+// (section 6.1: "the last write in a series of metadata updates is
+// asynchronous or delayed").
+type Conventional struct {
+	fs *ffs.FS
+}
+
+// NewConventional returns the Conventional scheme.
+func NewConventional() *Conventional { return &Conventional{} }
+
+// Name implements ffs.Ordering.
+func (o *Conventional) Name() string { return "Conventional" }
+
+// Start implements ffs.Ordering.
+func (o *Conventional) Start(fs *ffs.FS) { o.fs = fs }
+
+// Hooks implements ffs.Ordering.
+func (o *Conventional) Hooks() cache.Hooks { return cache.NopHooks{} }
+
+// AllocInit implements ffs.Ordering: directory and indirect blocks are
+// always initialized on disk before being pointed to; regular file data
+// only when allocation initialization is configured (most FFS derivatives
+// skip it — the integrity/security hole the paper discusses).
+func (o *Conventional) AllocInit(p *sim.Proc, rec *ffs.AllocRec) {
+	if rec.IsDir || rec.IsIndir || rec.FS.Config().AllocInit {
+		rec.FS.Cache().Bwrite(p, rec.NewBuf)
+	} else {
+		rec.FS.Cache().Bdwrite(rec.NewBuf)
+	}
+}
+
+// AllocPtr implements ffs.Ordering: a fragment move must not re-use the
+// vacated run before the retargeted pointer is on disk (rule 2), so the
+// owner is written synchronously first.
+func (o *Conventional) AllocPtr(p *sim.Proc, rec *ffs.AllocRec) {
+	if rec.MovedFrom != nil {
+		rec.FS.Cache().Bwrite(p, rec.OwnerBuf)
+		rec.FS.ApplyFree(p, &ffs.FreeRec{FS: rec.FS, Frags: []ffs.FragRun{*rec.MovedFrom}})
+		return
+	}
+	rec.FS.Cache().Bdwrite(rec.OwnerBuf)
+}
+
+// AddInode implements ffs.Ordering: the inode (with its new link count)
+// reaches stable storage synchronously before the directory entry can be
+// written.
+func (o *Conventional) AddInode(p *sim.Proc, rec *ffs.LinkRec) {
+	rec.FS.Cache().Bwrite(p, rec.InoBuf)
+}
+
+// AddEntry implements ffs.Ordering: the entry itself is a delayed write.
+func (o *Conventional) AddEntry(p *sim.Proc, rec *ffs.LinkRec) {
+	rec.FS.Cache().Bdwrite(rec.DirBuf)
+}
+
+// RemoveEntry implements ffs.Ordering: the directory block is written
+// synchronously, after which the link count may be decremented (and the
+// file freed) immediately.
+func (o *Conventional) RemoveEntry(p *sim.Proc, rec *ffs.RemRec) {
+	rec.FS.Cache().Bwrite(p, rec.DirBuf)
+	rec.FS.FinishRemove(p, rec)
+}
+
+// FreeBlocks implements ffs.Ordering: the cleared inode is written
+// synchronously before the free maps are updated (rule 2).
+func (o *Conventional) FreeBlocks(p *sim.Proc, rec *ffs.FreeRec) {
+	rec.FS.Cache().Bwrite(p, rec.OwnerBuf)
+	rec.FS.ApplyFree(p, rec)
+}
+
+// MetaUpdate implements ffs.Ordering.
+func (o *Conventional) MetaUpdate(p *sim.Proc, b *cache.Buf) { o.fs.Cache().Bdwrite(b) }
+
+// DataWrite implements ffs.Ordering.
+func (o *Conventional) DataWrite(p *sim.Proc, b *cache.Buf) { o.fs.Cache().Bdwrite(b) }

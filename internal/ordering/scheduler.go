@@ -1,0 +1,297 @@
+package ordering
+
+import (
+	"metaupdate/internal/cache"
+	"metaupdate/internal/dev"
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/sim"
+)
+
+// Flag is the scheduler-enforced ordering scheme of section 3.1: every
+// write the conventional scheme made synchronous becomes an asynchronous
+// write with the ordering flag set; the device driver (configured with
+// dev.ModeFlag and one of the Full/Back/Part semantics, ± NR) keeps later
+// requests from overtaking it. Because the dependent updates are delayed
+// writes issued strictly later, the flag semantics guarantee the on-disk
+// order.
+//
+// The write that carries ordering must be *issued* before the dependent
+// block can be flushed, so it is sent to the driver immediately — this is
+// precisely why these schemes cannot batch multiple updates to one block
+// the way soft updates can.
+type Flag struct {
+	fs *ffs.FS
+}
+
+// NewFlag returns the ordering-flag scheme. The driver must be configured
+// with dev.ModeFlag.
+func NewFlag() *Flag { return &Flag{} }
+
+// Name implements ffs.Ordering.
+func (o *Flag) Name() string { return "Scheduler Flag" }
+
+// Start implements ffs.Ordering.
+func (o *Flag) Start(fs *ffs.FS) { o.fs = fs }
+
+// Hooks implements ffs.Ordering.
+func (o *Flag) Hooks() cache.Hooks { return cache.NopHooks{} }
+
+// flagWrite issues an async write of b with the ordering flag set. If a
+// write of b is already in flight (possible without -CB only after waiting,
+// with -CB any time), the flag is left pending on the buffer; the re-issued
+// write will carry it.
+func (o *Flag) flagWrite(p *sim.Proc, b *cache.Buf) {
+	c := o.fs.Cache()
+	b.WriteFlag = true
+	c.Bdwrite(b)
+	c.Bawrite(p, b)
+}
+
+// AllocInit implements ffs.Ordering.
+func (o *Flag) AllocInit(p *sim.Proc, rec *ffs.AllocRec) {
+	if rec.IsDir || rec.IsIndir || rec.FS.Config().AllocInit {
+		o.flagWrite(p, rec.NewBuf)
+	} else {
+		rec.FS.Cache().Bdwrite(rec.NewBuf)
+	}
+}
+
+// AllocPtr implements ffs.Ordering: for a fragment move the retargeting
+// owner write is issued flagged, so any later write to the vacated run is
+// ordered behind it by the driver (rule 2).
+func (o *Flag) AllocPtr(p *sim.Proc, rec *ffs.AllocRec) {
+	if rec.MovedFrom != nil {
+		o.flagWrite(p, rec.OwnerBuf)
+		rec.FS.ApplyFree(p, &ffs.FreeRec{FS: rec.FS, Frags: []ffs.FragRun{*rec.MovedFrom}})
+		return
+	}
+	rec.FS.Cache().Bdwrite(rec.OwnerBuf)
+}
+
+// AddInode implements ffs.Ordering.
+func (o *Flag) AddInode(p *sim.Proc, rec *ffs.LinkRec) { o.flagWrite(p, rec.InoBuf) }
+
+// AddEntry implements ffs.Ordering.
+func (o *Flag) AddEntry(p *sim.Proc, rec *ffs.LinkRec) { rec.FS.Cache().Bdwrite(rec.DirBuf) }
+
+// RemoveEntry implements ffs.Ordering: the directory write is flagged and
+// asynchronous; the inode update that follows is a delayed write issued
+// later, which the flag semantics order behind it.
+func (o *Flag) RemoveEntry(p *sim.Proc, rec *ffs.RemRec) {
+	o.flagWrite(p, rec.DirBuf)
+	rec.FS.FinishRemove(p, rec)
+}
+
+// FreeBlocks implements ffs.Ordering: the cleared inode is written flagged;
+// the freed fragments become re-usable immediately because any write to
+// them will be issued after the flagged write and therefore scheduled after
+// it.
+func (o *Flag) FreeBlocks(p *sim.Proc, rec *ffs.FreeRec) {
+	o.flagWrite(p, rec.OwnerBuf)
+	rec.FS.ApplyFree(p, rec)
+}
+
+// MetaUpdate implements ffs.Ordering.
+func (o *Flag) MetaUpdate(p *sim.Proc, b *cache.Buf) { o.fs.Cache().Bdwrite(b) }
+
+// DataWrite implements ffs.Ordering.
+func (o *Flag) DataWrite(p *sim.Proc, b *cache.Buf) { o.fs.Cache().Bdwrite(b) }
+
+// Chains is the scheduler-chains scheme of section 3.2: each ordered write
+// is asynchronous and tagged with the IDs of the specific requests that
+// must complete first, so unrelated requests reorder freely. The file
+// system tracks, per buffer, the outstanding request IDs that future
+// dependents must name, and — using the paper's better-performing second
+// approach to de-allocation — remembers recently freed fragments until the
+// write that re-initialized their old owner completes.
+type Chains struct {
+	fs *ffs.FS
+
+	// issued tracks the most recent outstanding write request per buffer;
+	// entries are removed at completion (a completed request needs no
+	// dependency edge).
+	issued map[*cache.Buf]uint64
+
+	// completions holds cleanup actions to run when a request finishes.
+	completions map[uint64][]func()
+
+	// freedPending maps a fragment to the request that clears its old
+	// owner's pointer; re-use before that request completes must depend
+	// on it (the paper's second, better-performing approach).
+	freedPending map[int32]uint64
+
+	// pendingRemove carries the directory-write request ID from
+	// RemoveEntry into the FinishRemove updates it orders.
+	pendingRemove uint64
+
+	// BarrierFrees selects the paper's first, simpler de-allocation
+	// approach for the section 3.2 ablation: the owner write becomes a
+	// Part-NR-style barrier (flag set) instead of tracking freed blocks.
+	BarrierFrees bool
+}
+
+// NewChains returns the scheduler-chains scheme. The driver must be
+// configured with dev.ModeChains.
+func NewChains() *Chains {
+	return &Chains{
+		issued:       make(map[*cache.Buf]uint64),
+		completions:  make(map[uint64][]func()),
+		freedPending: make(map[int32]uint64),
+	}
+}
+
+// Name implements ffs.Ordering.
+func (o *Chains) Name() string { return "Scheduler Chains" }
+
+// Start implements ffs.Ordering.
+func (o *Chains) Start(fs *ffs.FS) { o.fs = fs }
+
+// Hooks implements ffs.Ordering.
+func (o *Chains) Hooks() cache.Hooks { return chainsHooks{o} }
+
+type chainsHooks struct{ o *Chains }
+
+func (chainsHooks) OnAccess(*cache.Buf)                   {}
+func (chainsHooks) BeforeWrite(*cache.Buf, []byte) []byte { return nil }
+func (h chainsHooks) WriteIssued(b *cache.Buf, r *dev.Request) {
+	h.o.issued[b] = r.ID
+}
+func (h chainsHooks) WriteDone(b *cache.Buf, r *dev.Request) {
+	if h.o.issued[b] == r.ID {
+		delete(h.o.issued, b)
+	}
+	for _, fn := range h.o.completions[r.ID] {
+		fn()
+	}
+	delete(h.o.completions, r.ID)
+}
+
+// chainWrite issues an async write of b (dependencies accumulated on the
+// buffer ride along) and returns the request ID dependents must name. If a
+// write was already in flight (non-CB), its ID is returned: the live buffer
+// is the write source and modifications waited for the lock, so that write
+// carries the current state.
+func (o *Chains) chainWrite(p *sim.Proc, b *cache.Buf) uint64 {
+	c := o.fs.Cache()
+	c.Bdwrite(b)
+	c.Bawrite(p, b)
+	return o.issued[b]
+}
+
+// addDep records that b's next write must wait for request id.
+func addDep(b *cache.Buf, id uint64) {
+	if id == 0 {
+		return
+	}
+	for _, d := range b.WriteDeps {
+		if d == id {
+			return
+		}
+	}
+	b.WriteDeps = append(b.WriteDeps, id)
+}
+
+// AllocInit implements ffs.Ordering.
+func (o *Chains) AllocInit(p *sim.Proc, rec *ffs.AllocRec) {
+	// The new block may live on recently freed fragments; its init write
+	// (and its owner) must wait for the old owner's clearing write.
+	for i := int32(0); i < int32(rec.NewNFr); i++ {
+		if id, ok := o.freedPending[rec.NewFrag+i]; ok {
+			addDep(rec.NewBuf, id)
+			addDep(rec.OwnerBuf, id)
+		}
+	}
+	if rec.IsDir || rec.IsIndir || rec.FS.Config().AllocInit {
+		id := o.chainWrite(p, rec.NewBuf)
+		// The owner's pointer write must follow the initialization.
+		addDep(rec.OwnerBuf, id)
+	} else {
+		rec.FS.Cache().Bdwrite(rec.NewBuf)
+	}
+}
+
+// AllocPtr implements ffs.Ordering: a fragment move issues the retargeting
+// write and remembers the vacated run until it completes, so re-users
+// chain behind it (rule 2, the section 3.2 tracking approach).
+func (o *Chains) AllocPtr(p *sim.Proc, rec *ffs.AllocRec) {
+	if rec.MovedFrom != nil {
+		ownerReq := o.chainWrite(p, rec.OwnerBuf)
+		if ownerReq != 0 {
+			run := *rec.MovedFrom
+			for i := int32(0); i < int32(run.N); i++ {
+				o.freedPending[run.Start+i] = ownerReq
+			}
+			o.completions[ownerReq] = append(o.completions[ownerReq], func() {
+				for i := int32(0); i < int32(run.N); i++ {
+					if o.freedPending[run.Start+i] == ownerReq {
+						delete(o.freedPending, run.Start+i)
+					}
+				}
+			})
+		}
+		rec.FS.ApplyFree(p, &ffs.FreeRec{FS: rec.FS, Frags: []ffs.FragRun{*rec.MovedFrom}})
+		return
+	}
+	rec.FS.Cache().Bdwrite(rec.OwnerBuf)
+}
+
+// AddInode implements ffs.Ordering.
+func (o *Chains) AddInode(p *sim.Proc, rec *ffs.LinkRec) {
+	o.chainWrite(p, rec.InoBuf)
+}
+
+// AddEntry implements ffs.Ordering.
+func (o *Chains) AddEntry(p *sim.Proc, rec *ffs.LinkRec) {
+	addDep(rec.DirBuf, o.issued[rec.InoBuf])
+	rec.FS.Cache().Bdwrite(rec.DirBuf)
+}
+
+// RemoveEntry implements ffs.Ordering: the directory write goes out
+// asynchronously; the inode updates FinishRemove performs are chained
+// behind it through pendingRemove.
+func (o *Chains) RemoveEntry(p *sim.Proc, rec *ffs.RemRec) {
+	id := o.chainWrite(p, rec.DirBuf)
+	saved := o.pendingRemove
+	o.pendingRemove = id
+	rec.FS.FinishRemove(p, rec)
+	o.pendingRemove = saved
+}
+
+// FreeBlocks implements ffs.Ordering: the cleared owner (inode block) is
+// written with a dependency on the directory write; freed fragments are
+// remembered until that write completes so re-users can chain behind it.
+func (o *Chains) FreeBlocks(p *sim.Proc, rec *ffs.FreeRec) {
+	addDep(rec.OwnerBuf, o.pendingRemove)
+	if o.BarrierFrees {
+		rec.OwnerBuf.WriteFlag = true // barrier fallback (section 3.2 ablation)
+	}
+	ownerReq := o.chainWrite(p, rec.OwnerBuf)
+	if !o.BarrierFrees && ownerReq != 0 {
+		for _, run := range rec.Frags {
+			for i := int32(0); i < int32(run.N); i++ {
+				o.freedPending[run.Start+i] = ownerReq
+			}
+		}
+		frags := rec.Frags
+		o.completions[ownerReq] = append(o.completions[ownerReq], func() {
+			for _, run := range frags {
+				for i := int32(0); i < int32(run.N); i++ {
+					if o.freedPending[run.Start+i] == ownerReq {
+						delete(o.freedPending, run.Start+i)
+					}
+				}
+			}
+		})
+	}
+	rec.FS.ApplyFree(p, rec)
+}
+
+// MetaUpdate implements ffs.Ordering: link-count updates reached through
+// FinishRemove inherit the pending directory-write dependency.
+func (o *Chains) MetaUpdate(p *sim.Proc, b *cache.Buf) {
+	addDep(b, o.pendingRemove)
+	o.fs.Cache().Bdwrite(b)
+}
+
+// DataWrite implements ffs.Ordering.
+func (o *Chains) DataWrite(p *sim.Proc, b *cache.Buf) { o.fs.Cache().Bdwrite(b) }

@@ -1,0 +1,137 @@
+// Package plot renders small ASCII charts for the experiment harness, so
+// the paper's figures come back as figures: horizontal bar charts for the
+// elapsed-time comparisons (figures 1-4) and multi-series line charts for
+// the throughput curves (figures 5-6).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one horizontal bar.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders labeled horizontal bars scaled to width columns.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int // bar area width in characters (default 50)
+	Bars  []Bar
+}
+
+// Fprint renders the chart.
+func (c *BarChart) Fprint(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for _, b := range c.Bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	fmt.Fprintf(w, "\n%s\n", c.Title)
+	for _, b := range c.Bars {
+		n := int(b.Value / max * float64(width))
+		if n < 1 && b.Value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "  %-*s |%s %.4g %s\n", labelW, b.Label,
+			strings.Repeat("#", n), b.Value, c.Unit)
+	}
+}
+
+// Series is one line in a line chart.
+type Series struct {
+	Name   string
+	Points []float64 // y values, one per shared x position
+}
+
+// LineChart renders multiple series over shared x labels on a character
+// grid, one marker letter per series.
+type LineChart struct {
+	Title   string
+	XLabels []string
+	YUnit   string
+	Height  int // grid height in rows (default 12)
+	Series  []Series
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '@', '%', '&', '$'}
+
+// Fprint renders the chart.
+func (c *LineChart) Fprint(w io.Writer) {
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	nx := len(c.XLabels)
+	if nx == 0 {
+		return
+	}
+	var ymax float64
+	for _, s := range c.Series {
+		for _, v := range s.Points {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	// Round the axis top up to 2 significant digits for readable ticks.
+	mag := math.Pow(10, math.Floor(math.Log10(ymax)))
+	ymax = math.Ceil(ymax/mag*10) / 10 * mag
+
+	colw := 8
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", nx*colw))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for xi, v := range s.Points {
+			if xi >= nx {
+				break
+			}
+			row := height - 1 - int(v/ymax*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := xi*colw + colw/2
+			grid[row][col] = m
+		}
+	}
+	fmt.Fprintf(w, "\n%s\n", c.Title)
+	for i, row := range grid {
+		y := ymax * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(w, "  %8.4g |%s\n", y, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(w, "  %8s +%s\n", "", strings.Repeat("-", nx*colw))
+	var xl strings.Builder
+	for _, l := range c.XLabels {
+		xl.WriteString(fmt.Sprintf("%-*s", colw, l))
+	}
+	fmt.Fprintf(w, "  %8s  %s(%s)\n", "", xl.String(), c.YUnit)
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "  %c = %s\n", markers[si%len(markers)], s.Name)
+	}
+}

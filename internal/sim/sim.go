@@ -1,0 +1,411 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The whole reproduction runs in virtual time: simulated processes ("users",
+// the syncer daemon) are goroutines driven in lock-step by an Engine, so at
+// any instant at most one goroutine — the engine or exactly one process — is
+// running. This makes every experiment bit-for-bit reproducible and immune
+// to Go scheduler and GC noise, which is essential for the paper's
+// buffer-cache-sensitive benchmarks.
+//
+// Time is an int64 count of virtual nanoseconds. Events scheduled for the
+// same instant fire in schedule order (a strictly increasing sequence number
+// breaks ties), so simulations are deterministic by construction provided
+// callers do not let Go map iteration order influence scheduling decisions.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+)
+
+// Time is a virtual-time instant in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Milliseconds reports t as a floating-point millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation executive: an event queue plus the lock-step
+// machinery that hands control between the engine goroutine and process
+// goroutines.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan yieldMsg
+	live   int  // live (spawned, not finished) processes
+	halted bool // set once Run/RunUntil stops delivering events
+}
+
+// Live reports the number of spawned processes that have not finished.
+func (e *Engine) Live() int { return e.live }
+
+type yieldMsg struct {
+	done   bool        // process function returned
+	panicV interface{} // non-nil: the process panicked; re-panic in Run
+	stack  []byte
+}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan yieldMsg)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run in engine context at time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run in engine context d from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Proc is a simulated process: a goroutine that runs only when the engine
+// resumes it and always parks itself back before the engine continues.
+type Proc struct {
+	eng    *Engine
+	Name   string
+	ID     int
+	resume chan struct{}
+}
+
+var procIDs int
+
+// Spawn starts a new simulated process executing fn. The process begins
+// running at the current virtual time (as a scheduled event), so Spawn can
+// be called before Run or from inside another process or callback.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	procIDs++
+	p := &Proc{eng: e, Name: name, ID: procIDs, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume // wait for the engine to run our start event
+		defer func() {
+			if r := recover(); r != nil {
+				// Forward the panic to the engine goroutine; swallowing it
+				// here would deadlock Run on the yield channel.
+				e.yield <- yieldMsg{done: true, panicV: r, stack: debug.Stack()}
+				return
+			}
+			e.yield <- yieldMsg{done: true}
+		}()
+		fn(p)
+	}()
+	e.At(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// runProc resumes p and blocks until p parks again (or finishes).
+func (e *Engine) runProc(p *Proc) {
+	p.resume <- struct{}{}
+	m := <-e.yield
+	if m.done {
+		e.live--
+	}
+	if m.panicV != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v\n%s", p.Name, m.panicV, m.stack))
+	}
+}
+
+// Run executes events until the event queue is empty.
+func (e *Engine) Run() { e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= limit, then stops, leaving the
+// remaining queue intact. Processes that are parked simply never resume;
+// their goroutines are garbage once the Engine is dropped (each is blocked
+// on a private channel). This is how crash-injection tests freeze a system
+// mid-flight.
+func (e *Engine) RunUntil(limit Time) {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.at > limit {
+			e.halted = true
+			return
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunWhile executes events for as long as cond() holds and events remain.
+// It lets callers run a workload to completion while daemon processes (the
+// syncer) keep scheduling events forever.
+func (e *Engine) RunWhile(cond func() bool) {
+	for len(e.events) > 0 && cond() {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// Pending reports the number of queued events (useful in tests).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// block parks the calling process goroutine and hands control back to the
+// engine. The caller must already have arranged for something to resume it.
+func (p *Proc) block() {
+	p.eng.yield <- yieldMsg{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	e := p.eng
+	e.At(e.now+d, func() { e.runProc(p) })
+	p.block()
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Engine returns the engine driving this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Completion is a one-shot event that processes can wait on and that either
+// processes or engine-context callbacks can fire. Waiting after the
+// completion has fired returns immediately. All waiters wake in FIFO order
+// at the instant Fire is called.
+type Completion struct {
+	fired     bool
+	FiredAt   Time
+	waiters   []*Proc
+	callbacks []func()
+}
+
+// OnFire registers fn to run (in the firing context, before waiters wake)
+// when the completion fires; if it already fired, fn runs immediately.
+func (c *Completion) OnFire(fn func()) {
+	if c.fired {
+		fn()
+		return
+	}
+	c.callbacks = append(c.callbacks, fn)
+}
+
+// NewCompletion returns an unfired completion.
+func NewCompletion() *Completion { return &Completion{} }
+
+// Fired reports whether Fire has been called.
+func (c *Completion) Fired() bool { return c.fired }
+
+// Fire marks the completion done and wakes all waiters at the current time.
+// Firing twice panics — it always indicates a bookkeeping bug upstream.
+func (c *Completion) Fire(e *Engine) {
+	if c.fired {
+		panic("sim: Completion fired twice")
+	}
+	c.fired = true
+	c.FiredAt = e.Now()
+	for _, fn := range c.callbacks {
+		fn()
+	}
+	c.callbacks = nil
+	for _, p := range c.waiters {
+		pp := p
+		e.At(e.Now(), func() { e.runProc(pp) })
+	}
+	c.waiters = nil
+}
+
+// Wait blocks p until the completion fires (returns at once if it already
+// has).
+func (c *Completion) Wait(p *Proc) {
+	if c.fired {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.block()
+}
+
+// Mutex is a virtual-time mutual-exclusion lock with FIFO handoff.
+type Mutex struct {
+	held    bool
+	waiters []*Proc
+}
+
+// Lock acquires m, blocking p in virtual time if necessary.
+func (m *Mutex) Lock(p *Proc) {
+	if !m.held {
+		m.held = true
+		return
+	}
+	m.waiters = append(m.waiters, p)
+	p.block()
+	// Ownership was transferred to us by Unlock.
+}
+
+// TryLock acquires m if free and reports whether it did.
+func (m *Mutex) TryLock() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases m, handing ownership to the oldest waiter if any. It may
+// be called from engine context (completion callbacks) as well as from
+// processes, so it takes the engine rather than a proc.
+func (m *Mutex) Unlock(e *Engine) {
+	if !m.held {
+		panic("sim: unlock of unlocked Mutex")
+	}
+	if len(m.waiters) == 0 {
+		m.held = false
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	// Lock stays held; next now owns it.
+	e.At(e.Now(), func() { e.runProc(next) })
+}
+
+// CPU models a single time-shared processor. Use charges virtual CPU time
+// in round-robin quanta so concurrent processes interleave the way a 1994
+// uniprocessor UNIX box would, instead of one long burst serializing
+// everyone behind it.
+type CPU struct {
+	Quantum Duration // scheduling quantum; 0 means DefaultQuantum
+	busy    bool
+	waiters []*Proc
+	// Used accumulates total CPU time consumed, for the paper's
+	// "CPU time" columns.
+	Used Duration
+}
+
+// DefaultQuantum approximates a 1994 UNIX scheduler time slice.
+const DefaultQuantum = 10 * Millisecond
+
+func (c *CPU) quantum() Duration {
+	if c.Quantum > 0 {
+		return c.Quantum
+	}
+	return DefaultQuantum
+}
+
+// Use consumes d of CPU time, competing with other processes.
+func (c *CPU) Use(p *Proc, d Duration) {
+	if d <= 0 {
+		return
+	}
+	c.Used += d
+	q := c.quantum()
+	for d > 0 {
+		c.acquire(p)
+		slice := q
+		if d < slice {
+			slice = d
+		}
+		p.Sleep(slice)
+		d -= slice
+		c.release(p.eng)
+	}
+}
+
+func (c *CPU) acquire(p *Proc) {
+	if !c.busy {
+		c.busy = true
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.block()
+}
+
+func (c *CPU) release(e *Engine) {
+	if len(c.waiters) == 0 {
+		c.busy = false
+		return
+	}
+	next := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	e.At(e.Now(), func() { e.runProc(next) })
+}
+
+// WaitGroup lets one process wait for N completions (used to join the
+// per-user benchmark processes).
+type WaitGroup struct {
+	n      int
+	waiter *Proc
+	eng    *Engine
+}
+
+// Add increments the outstanding count.
+func (w *WaitGroup) Add(n int) { w.n += n }
+
+// Done decrements the count, waking the waiter when it reaches zero.
+func (w *WaitGroup) Done(e *Engine) {
+	w.n--
+	if w.n < 0 {
+		panic("sim: WaitGroup count below zero")
+	}
+	if w.n == 0 && w.waiter != nil {
+		p := w.waiter
+		w.waiter = nil
+		e.At(e.Now(), func() { e.runProc(p) })
+	}
+}
+
+// Wait blocks p until the count reaches zero. Only one waiter is supported.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	if w.waiter != nil {
+		panic("sim: WaitGroup supports a single waiter")
+	}
+	w.waiter = p
+	p.block()
+}

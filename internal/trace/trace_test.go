@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"metaupdate/internal/dev"
+	"metaupdate/internal/disk"
+	"metaupdate/internal/sim"
+)
+
+func mkStat(op disk.Op, qMS, sMS float64) dev.Stat {
+	return dev.Stat{
+		Op:       op,
+		Sectors:  16,
+		Queue:    sim.Duration(qMS * float64(sim.Millisecond)),
+		Service:  sim.Duration(sMS * float64(sim.Millisecond)),
+		Response: sim.Duration((qMS + sMS) * float64(sim.Millisecond)),
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	stats := []dev.Stat{
+		mkStat(disk.Read, 1, 10),
+		mkStat(disk.Write, 2, 20),
+		mkStat(disk.Write, 3, 30),
+	}
+	s := Analyze(stats)
+	if s.Requests != 3 || s.Reads != 1 || s.Writes != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Service.MeanMS != 20 {
+		t.Errorf("mean service %.2f, want 20", s.Service.MeanMS)
+	}
+	if s.Service.MaxMS != 30 || s.Response.MaxMS != 33 {
+		t.Errorf("max service %.2f / response %.2f", s.Service.MaxMS, s.Response.MaxMS)
+	}
+	if s.Service.P50MS != 20 {
+		t.Errorf("p50 %.2f, want 20", s.Service.P50MS)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(nil)
+	if s.Requests != 0 || s.Service.MeanMS != 0 {
+		t.Fatalf("empty trace: %+v", s)
+	}
+	var sb strings.Builder
+	s.Fprint(&sb) // must not panic
+}
+
+func TestPercentilesOrdered(t *testing.T) {
+	var stats []dev.Stat
+	for i := 1; i <= 100; i++ {
+		stats = append(stats, mkStat(disk.Write, 0, float64(i)))
+	}
+	s := Analyze(stats)
+	if s.Service.P50MS != 50 || s.Service.P90MS != 90 || s.Service.P99MS != 99 {
+		t.Fatalf("percentiles: %+v", s.Service)
+	}
+	if !(s.Service.P50MS <= s.Service.P90MS && s.Service.P90MS <= s.Service.P99MS &&
+		s.Service.P99MS <= s.Service.MaxMS) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Add(100 * sim.Microsecond) // <= 0.5ms
+	h.Add(3 * sim.Millisecond)   // <= 5ms
+	h.Add(15 * sim.Millisecond)  // <= 20ms
+	h.Add(60 * sim.Second)       // > 10s, last bucket
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 1 || h.Counts[3] != 1 || h.Counts[5] != 1 || h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("bucket placement wrong: %v", h.Counts)
+	}
+	var sb strings.Builder
+	h.Fprint(&sb, "latency")
+	out := sb.String()
+	if !strings.Contains(out, "latency (4 samples)") || !strings.Contains(out, "#") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestHistogramsFromStats(t *testing.T) {
+	stats := []dev.Stat{mkStat(disk.Read, 5, 8), mkStat(disk.Write, 500, 12)}
+	if ServiceHistogram(stats).Total() != 2 {
+		t.Fatal("service histogram count")
+	}
+	rh := ResponseHistogram(stats)
+	if rh.Total() != 2 {
+		t.Fatal("response histogram count")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	stats := []dev.Stat{mkStat(disk.Read, 1.5, 10), mkStat(disk.Write, 0, 5)}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, stats); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0] != "op,sectors,queue_ms,service_ms,response_ms,cache_hit" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "read,16,1.500,10.000,11.500,") {
+		t.Fatalf("row: %s", lines[1])
+	}
+}

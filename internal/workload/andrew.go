@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/sim"
+)
+
+// Andrew emulates the original Andrew file system benchmark (Howard et al.
+// 1988) used in the paper's table 3: five phases over a small source tree.
+// The original operates on ~70 files in ~5 directories totaling ~200 KB of
+// C source, then compiles them. Command invocation overhead (fork/exec of
+// 1994-era userland on a 33 MHz i486) dominates the small phases, so each
+// simulated command charges ExecOverhead of CPU.
+type Andrew struct {
+	Dirs      int
+	Files     int
+	FileBytes int
+	// ExecOverhead models fork+exec+page-in of one command.
+	ExecOverhead sim.Duration
+	// StatCPU is the userland cost of examining one file's status in the
+	// scan phase (ls -l formatting, uid lookups — phase 3 is CPU-bound on
+	// the paper's machine: ~4.1 s for the tree under every scheme).
+	StatCPU sim.Duration
+	// ScanCPU is the per-file cost of the read-every-byte phase's grep.
+	ScanCPU sim.Duration
+	// CompileCPU is the compiler+assembler CPU cost per source file; the
+	// paper's compile phase runs ~276 s for the tree ("aggressive,
+	// time-consuming compilation techniques and a slow CPU").
+	CompileCPU sim.Duration
+}
+
+// DefaultAndrew returns the paper-calibrated configuration.
+func DefaultAndrew() Andrew {
+	return Andrew{
+		Dirs:         20,
+		Files:        70,
+		FileBytes:    2900, // ~200 KB total
+		ExecOverhead: 12 * sim.Millisecond,
+		StatCPU:      25 * sim.Millisecond,
+		ScanCPU:      30 * sim.Millisecond,
+		CompileCPU:   3800 * sim.Millisecond,
+	}
+}
+
+// AndrewTimes holds per-phase elapsed virtual time.
+type AndrewTimes struct {
+	MakeDir, Copy, ScanDir, ReadAll, Compile sim.Duration
+}
+
+// Total returns the benchmark total.
+func (t AndrewTimes) Total() sim.Duration {
+	return t.MakeDir + t.Copy + t.ScanDir + t.ReadAll + t.Compile
+}
+
+// Run executes the five phases under `parent` and returns per-phase times.
+func (a Andrew) Run(p *sim.Proc, fs *ffs.FS, parent ffs.Ino) (AndrewTimes, error) {
+	var t AndrewTimes
+	cpu := fs.CPU()
+	exec := func() { cpu.Use(p, a.ExecOverhead) }
+
+	// Phase 1: create the directory tree.
+	start := p.Now()
+	root, err := fs.Mkdir(p, parent, "andrew")
+	if err != nil {
+		return t, err
+	}
+	dirs := []ffs.Ino{root}
+	exec()
+	for d := 1; d < a.Dirs; d++ {
+		nd, err := fs.Mkdir(p, root, fmt.Sprintf("sub%d", d))
+		if err != nil {
+			return t, err
+		}
+		dirs = append(dirs, nd)
+		exec()
+	}
+	t.MakeDir = p.Now() - start
+
+	// Phase 2: copy the data files (source "master" files are synthesized
+	// as writes; the original copies from another file system).
+	start = p.Now()
+	var files []ffs.Ino
+	fileDirs := make([]ffs.Ino, 0, a.Files)
+	for i := 0; i < a.Files; i++ {
+		dir := dirs[i%len(dirs)]
+		ino, err := fs.Create(p, dir, fmt.Sprintf("src%02d.c", i))
+		if err != nil {
+			return t, err
+		}
+		if err := fs.WriteAt(p, ino, 0, content(i, a.FileBytes)); err != nil {
+			return t, err
+		}
+		files = append(files, ino)
+		fileDirs = append(fileDirs, dir)
+		if i%8 == 0 {
+			exec() // cp is invoked per directory batch
+		}
+	}
+	t.Copy = p.Now() - start
+
+	// Phase 3: examine the status of every file (ls -lR / stat sweep).
+	start = p.Now()
+	for _, dir := range dirs {
+		exec()
+		ents, err := fs.ReadDir(p, dir)
+		if err != nil {
+			return t, err
+		}
+		for _, e := range ents {
+			if _, err := fs.Stat(p, e.Ino); err != nil {
+				return t, err
+			}
+			cpu.Use(p, a.StatCPU)
+		}
+	}
+	// The original stats every file several times via find+ls.
+	for _, ino := range files {
+		if _, err := fs.Stat(p, ino); err != nil {
+			return t, err
+		}
+		cpu.Use(p, a.StatCPU)
+	}
+	t.ScanDir = p.Now() - start
+
+	// Phase 4: read every byte of every file (grep -r).
+	start = p.Now()
+	buf := make([]byte, ffs.BlockSize)
+	for _, ino := range files {
+		exec()
+		var off uint64
+		for {
+			n, err := fs.ReadAt(p, ino, off, buf)
+			if err != nil {
+				return t, err
+			}
+			off += uint64(n)
+			if n < len(buf) {
+				break
+			}
+		}
+		cpu.Use(p, a.ScanCPU) // scanning the bytes
+	}
+	t.ReadAll = p.Now() - start
+
+	// Phase 5: compile. Each source file is read, chewed on by the
+	// compiler, and produces an object file; a final link reads all the
+	// objects and writes the binary.
+	start = p.Now()
+	perFile := a.CompileCPU
+	for i, ino := range files {
+		exec()
+		var off uint64
+		for {
+			n, err := fs.ReadAt(p, ino, off, buf)
+			if err != nil {
+				return t, err
+			}
+			off += uint64(n)
+			if n < len(buf) {
+				break
+			}
+		}
+		cpu.Use(p, perFile)
+		obj, err := fs.Create(p, fileDirs[i], fmt.Sprintf("src%02d.o", i))
+		if err != nil {
+			return t, err
+		}
+		if err := fs.WriteAt(p, obj, 0, content(1000+i, a.FileBytes*2)); err != nil {
+			return t, err
+		}
+	}
+	// Link step.
+	exec()
+	cpu.Use(p, 8*sim.Second)
+	bin, err := fs.Create(p, root, "a.out")
+	if err != nil {
+		return t, err
+	}
+	if err := fs.WriteAt(p, bin, 0, content(9999, a.FileBytes*a.Files/2)); err != nil {
+		return t, err
+	}
+	t.Compile = p.Now() - start
+	return t, nil
+}

@@ -1,0 +1,230 @@
+package workload_test
+
+import (
+	"fmt"
+	"testing"
+
+	"metaupdate/fsim"
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/fsck"
+	"metaupdate/internal/sim"
+	"metaupdate/internal/workload"
+)
+
+func newSys(t *testing.T, scheme fsim.Scheme) *fsim.System {
+	t.Helper()
+	sys, err := fsim.New(fsim.Options{
+		Scheme:     scheme,
+		DiskBytes:  128 << 20,
+		CacheBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTreeSpecSizes(t *testing.T) {
+	ts := workload.PaperTree()
+	sizes := ts.Sizes()
+	if len(sizes) != 535 {
+		t.Fatalf("%d files, want 535", len(sizes))
+	}
+	var total int64
+	small := 0
+	for _, s := range sizes {
+		if s <= 0 {
+			t.Fatal("non-positive size")
+		}
+		if s < 8192 {
+			small++
+		}
+		total += int64(s)
+	}
+	if total < 14_000_000 || total > 14_700_000 {
+		t.Fatalf("total = %d, want ~14.3 MB", total)
+	}
+	if small < 200 {
+		t.Errorf("only %d files under 8 KB; distribution looks wrong", small)
+	}
+	// Deterministic.
+	sizes2 := workload.PaperTree().Sizes()
+	for i := range sizes {
+		if sizes[i] != sizes2[i] {
+			t.Fatal("sizes not deterministic")
+		}
+	}
+}
+
+func TestBuildCopyRemoveRoundTrip(t *testing.T) {
+	sys := newSys(t, fsim.SoftUpdates)
+	ts := workload.SmallTree()
+	sys.Run(func(p *fsim.Proc) {
+		if _, err := ts.Build(p, sys.FS, fsim.RootIno, "src"); err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.CopyTree(p, sys.FS, fsim.RootIno, "src", fsim.RootIno, "dst"); err != nil {
+			t.Fatal(err)
+		}
+		// Copied tree has the same file count and bytes.
+		srcFiles, srcBytes := treeStats(t, p, sys.FS, "src")
+		dstFiles, dstBytes := treeStats(t, p, sys.FS, "dst")
+		if srcFiles != ts.Files || dstFiles != srcFiles || dstBytes != srcBytes {
+			t.Fatalf("copy mismatch: src %d/%d dst %d/%d", srcFiles, srcBytes, dstFiles, dstBytes)
+		}
+		if err := workload.RemoveTree(p, sys.FS, fsim.RootIno, "dst"); err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.RemoveTree(p, sys.FS, fsim.RootIno, "src"); err != nil {
+			t.Fatal(err)
+		}
+		sys.FS.Sync(p)
+		ents, _ := sys.FS.ReadDir(p, fsim.RootIno)
+		if len(ents) != 0 {
+			t.Fatalf("%d entries left in root", len(ents))
+		}
+	})
+	// Everything freed: fsck must be clean with no leaks.
+	sys.Run(func(p *fsim.Proc) { sys.FS.Sync(p) })
+	rep := fsck.Check(sys.Disk.Image())
+	if len(rep.Findings) != 0 {
+		t.Fatalf("fsck after full cleanup: %v", rep.Findings)
+	}
+}
+
+func treeStats(t *testing.T, p *fsim.Proc, fs *ffs.FS, name string) (files int, bytes uint64) {
+	t.Helper()
+	root, err := fs.Lookup(p, fsim.RootIno, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(dir ffs.Ino)
+	walk = func(dir ffs.Ino) {
+		ents, err := fs.ReadDir(p, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if e.Ftype == ffs.FtypeDir {
+				walk(e.Ino)
+			} else {
+				ip, err := fs.Stat(p, e.Ino)
+				if err != nil {
+					t.Fatal(err)
+				}
+				files++
+				bytes += ip.Size
+			}
+		}
+	}
+	walk(root)
+	return files, bytes
+}
+
+func TestCreateRemoveLoops(t *testing.T) {
+	sys := newSys(t, fsim.NoOrder)
+	sys.Run(func(p *fsim.Proc) {
+		dir, _ := sys.FS.Mkdir(p, fsim.RootIno, "bench")
+		if err := workload.CreateFiles(p, sys.FS, dir, 50, 1024); err != nil {
+			t.Fatal(err)
+		}
+		ents, _ := sys.FS.ReadDir(p, dir)
+		if len(ents) != 50 {
+			t.Fatalf("%d files after CreateFiles", len(ents))
+		}
+		if err := workload.RemoveFiles(p, sys.FS, dir, 50); err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.CreateRemoveFiles(p, sys.FS, dir, 50, 1024); err != nil {
+			t.Fatal(err)
+		}
+		ents, _ = sys.FS.ReadDir(p, dir)
+		if len(ents) != 0 {
+			t.Fatalf("%d files after churn", len(ents))
+		}
+	})
+}
+
+func TestAndrewPhases(t *testing.T) {
+	sys := newSys(t, fsim.SoftUpdates)
+	var times workload.AndrewTimes
+	sys.Run(func(p *fsim.Proc) {
+		var err error
+		times, err = workload.DefaultAndrew().Run(p, sys.FS, fsim.RootIno)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if times.MakeDir <= 0 || times.Copy <= 0 || times.ScanDir <= 0 ||
+		times.ReadAll <= 0 || times.Compile <= 0 {
+		t.Fatalf("zero phase times: %+v", times)
+	}
+	// The compile phase must dominate, as in the paper.
+	if times.Compile < times.Total()/2 {
+		t.Errorf("compile (%v) does not dominate total (%v)", times.Compile, times.Total())
+	}
+	if times.Total() > 400*sim.Second {
+		t.Errorf("Andrew total %v wildly above the paper's ~290 s", times.Total())
+	}
+}
+
+func TestSdetScriptRunsAndCleansUp(t *testing.T) {
+	sys := newSys(t, fsim.SoftUpdates)
+	sys.Run(func(p *fsim.Proc) {
+		if err := workload.DefaultSdet().RunScript(p, sys.FS, fsim.RootIno, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		home, err := sys.FS.Lookup(p, fsim.RootIno, "sdet0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents, _ := sys.FS.ReadDir(p, home)
+		for _, e := range ents {
+			if e.Ftype != ffs.FtypeDir {
+				t.Fatalf("file %q left behind", e.Name)
+			}
+		}
+	})
+}
+
+func TestSdetDeterministic(t *testing.T) {
+	run := func() fsim.Duration {
+		sys := newSys(t, fsim.Conventional)
+		return sys.Run(func(p *fsim.Proc) {
+			if err := workload.DefaultSdet().RunScript(p, sys.FS, fsim.RootIno, 0, 3); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("Sdet not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestConcurrentSdetScripts(t *testing.T) {
+	sys := newSys(t, fsim.SoftUpdates)
+	sdet := workload.DefaultSdet()
+	var bin ffs.Ino
+	sys.Run(func(p *fsim.Proc) {
+		var err error
+		bin, err = sdet.SetupBinaries(p, sys.FS, fsim.RootIno)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	each, wall := sys.RunUsers(4, func(p *fsim.Proc, u int) {
+		if err := sdet.RunScript(p, sys.FS, fsim.RootIno, bin, u); err != nil {
+			t.Error(err)
+		}
+	})
+	for u, d := range each {
+		if d <= 0 {
+			t.Fatalf("user %d took %v", u, d)
+		}
+	}
+	if wall <= 0 {
+		t.Fatal("zero wall time")
+	}
+	_ = fmt.Sprintf("%v", wall)
+}
