@@ -309,12 +309,13 @@ func (s *System) Shutdown() {
 
 // Crash freezes the system at virtual time t (which must be in the future)
 // and returns the crash-consistent media image: completed writes plus the
-// sector-exact prefix of any write in flight. The system is unusable
-// afterwards.
+// sector-exact prefix of any write in flight. The image is an independent
+// copy (disk.Disk.CloneImage), so callers may inspect or repair it without
+// racing the — now unusable — system's backing store.
 func (s *System) Crash(t Time) []byte {
 	s.Eng.RunUntil(t)
 	s.Driver.Crash(t)
-	return s.Disk.Image()
+	return s.Disk.CloneImage()
 }
 
 // Stats is a snapshot of system-wide counters for an experiment window.

@@ -54,6 +54,14 @@ type SoftUpdates struct {
 	fs   *ffs.FS
 	deps map[*cache.Buf]*bufDep // parallel to Buf.Dep, for iteration
 	Stat Stats
+
+	// DropEntryDeps is a fault-injection hook for the crash-state model
+	// checker: when set, AddEntry registers no dependency at all, so a new
+	// directory entry can reach the disk before its target inode — the
+	// classic rule-1 violation soft updates exists to prevent. It proves
+	// the checker catches a real (seeded) ordering bug; never set it
+	// outside tests and cmd/mdcheck's -seed-bug mode.
+	DropEntryDeps bool
 }
 
 // New returns a soft updates instance.
@@ -327,6 +335,9 @@ func (s *SoftUpdates) AddInode(p *sim.Proc, rec *ffs.LinkRec) {
 // AddEntry implements ffs.Ordering.
 func (s *SoftUpdates) AddEntry(p *sim.Proc, rec *ffs.LinkRec) {
 	rec.FS.Cache().Bdwrite(rec.DirBuf)
+	if s.DropEntryDeps {
+		return // fault injection: entry may now hit disk before its inode
+	}
 	idep := s.ensureInodeDep(rec.InoBuf, rec.Ino)
 	if idep.written {
 		return // inode already safe; the entry carries no dependency

@@ -1,0 +1,285 @@
+// Package crashmc is a crash-consistency model checker: it turns the
+// repository's one-shot crash injection (dev.Driver.Crash at a single
+// instant) into bounded-exhaustive exploration of the crash-state space.
+//
+// A Recorder attaches to the device driver as a dev.Observer and records
+// the write timeline of a workload run: every submitted request with its
+// write source and the barrier set the driver will enforce, and every
+// completion batch, in virtual-time order. After the run, Explore
+// enumerates the crash images that timeline could have left on the media:
+//
+//   - every inter-event crash instant (the image after any prefix of the
+//     completion sequence);
+//   - at each instant, every completed-subset of the then-pending writes
+//     that the scheme's ordering semantics permit — a subset is legal iff
+//     it is closed under the driver's barrier relation (dev.Predecessors),
+//     with chains of read requests collapsed to their write ancestors;
+//   - for each write that could legally have been in flight, every
+//     partial-sector prefix (writes are sector-atomic, the paper's stated
+//     assumption).
+//
+// Images are materialized from a base snapshot plus write deltas,
+// deduplicated by content hash, and verified with fsck.Check (plus,
+// optionally, fsck.ContentViolations) on a pool of worker goroutines.
+// Real goroutine parallelism is safe here because image checking happens
+// entirely outside the deterministic simulation. Any violating image can
+// be shrunk to a minimal repro: the smallest dependency-closed write
+// subset that still violates, naming the offending requests.
+//
+// The exploration is sound but bounded: it reorders only the writes the
+// run actually issued (with their recorded contents), so schemes whose
+// completion handlers would have issued different writes under a different
+// completion order are checked against the recorded schedule's contents.
+// This is the standard trace-based approach (compare SquirrelFS's
+// model-checked crash states and pFSCK's parallel checking, PAPERS.md).
+package crashmc
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+
+	"metaupdate/internal/dev"
+	"metaupdate/internal/disk"
+	"metaupdate/internal/sim"
+)
+
+// node is one recorded request.
+type node struct {
+	id    uint64
+	write bool
+	lbn   int64
+	count int    // sectors
+	data  []byte // write source snapshot; nil for reads
+	// sech[i] fingerprints the write's i-th sector. Successive writes to a
+	// range often repeat bytes — per-sector content fingerprints let the
+	// enumerator recognize the resulting duplicate images without
+	// materializing them.
+	sech []uint64
+	// effPreds are the write IDs that must be durable before this request
+	// may complete, with read-only dependency chains collapsed (a write
+	// gated on a read inherits the read's write ancestors). Sorted.
+	effPreds []uint64
+	// completedAt is the event index of the completion, -1 if the run
+	// ended with the request still pending.
+	completedAt int
+}
+
+// apply copies the write's full content onto img.
+func (n *node) apply(img []byte) {
+	copy(img[n.lbn*disk.SectorSize:], n.data)
+}
+
+// applyPrefix commits only the first sectors sectors (the mid-write crash).
+func (n *node) applyPrefix(img []byte, sectors int) {
+	copy(img[n.lbn*disk.SectorSize:], n.data[:sectors*disk.SectorSize])
+}
+
+// event is one timeline step: a submission or a completion batch.
+type event struct {
+	submit   uint64 // non-zero: ID of the submitted request
+	complete []uint64
+}
+
+// Recorder captures a driver's write timeline for later exploration.
+// Attach it before the workload runs; it is not safe to explore while the
+// simulation is still moving.
+type Recorder struct {
+	base    []byte
+	nodes   map[uint64]*node
+	events  []event
+	writes  int
+	sectors int64
+	hseed   maphash.Seed // content-fingerprint seed, one per recording
+}
+
+// Attach snapshots the disk's current media as the pre-workload base image
+// and installs a fresh Recorder as drv's observer.
+func Attach(drv *dev.Driver, dsk *disk.Disk) *Recorder {
+	r := &Recorder{
+		base:  dsk.CloneImage(),
+		nodes: make(map[uint64]*node),
+		hseed: maphash.MakeSeed(),
+	}
+	drv.SetObserver(r)
+	return r
+}
+
+// RequestSubmitted implements dev.Observer.
+func (r *Recorder) RequestSubmitted(q *dev.Request, preds []uint64) {
+	n := &node{
+		id:          q.ID,
+		write:       q.Op == disk.Write,
+		lbn:         q.LBN,
+		count:       q.Count,
+		completedAt: -1,
+	}
+	if n.write {
+		n.data = append([]byte(nil), q.Data...)
+		n.sech = make([]uint64, n.count)
+		for s := 0; s < n.count; s++ {
+			n.sech[s] = maphash.Bytes(r.hseed, n.data[s*disk.SectorSize:(s+1)*disk.SectorSize])
+		}
+		r.writes++
+		r.sectors += int64(q.Count)
+	}
+	// Collapse read chains: a predecessor that is itself a read
+	// contributes its own write ancestors instead. Predecessors that
+	// predate the recorder are already durable and drop out.
+	seen := make(map[uint64]struct{})
+	for _, p := range preds {
+		pn := r.nodes[p]
+		if pn == nil {
+			continue
+		}
+		if pn.write {
+			seen[p] = struct{}{}
+			continue
+		}
+		for _, wp := range pn.effPreds {
+			seen[wp] = struct{}{}
+		}
+	}
+	n.effPreds = make([]uint64, 0, len(seen))
+	for id := range seen {
+		n.effPreds = append(n.effPreds, id)
+	}
+	sort.Slice(n.effPreds, func(i, j int) bool { return n.effPreds[i] < n.effPreds[j] })
+	r.nodes[q.ID] = n
+	r.events = append(r.events, event{submit: q.ID})
+}
+
+// RequestsCompleted implements dev.Observer.
+func (r *Recorder) RequestsCompleted(ids []uint64, at sim.Time) {
+	ev := event{complete: append([]uint64(nil), ids...)}
+	r.events = append(r.events, ev)
+	for _, id := range ids {
+		if n := r.nodes[id]; n != nil {
+			n.completedAt = len(r.events) - 1
+		}
+	}
+}
+
+// Writes reports the number of recorded write requests.
+func (r *Recorder) Writes() int { return r.writes }
+
+// Config bounds and parameterizes an exploration.
+type Config struct {
+	// Workers sets the image-checking goroutine count (default
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+	// Budget caps the total crash states generated (default 50000).
+	Budget int
+	// PerInstant caps the states generated at any single crash instant,
+	// so one huge pending set cannot starve the rest of the timeline
+	// (default 1024).
+	PerInstant int
+	// CheckContent additionally runs fsck.ContentViolations on each image
+	// (for workloads that stamp file data with fsck.MakeStampedData).
+	CheckContent bool
+	// Shrink reduces the lowest-sequence violating state to a minimal
+	// repro after the sweep.
+	Shrink bool
+	// MaxViolations bounds the retained violating states; the lowest
+	// sequence numbers are kept (default 64). The Violating counter is
+	// exact regardless.
+	MaxViolations int
+	// ShrinkTrials caps the images materialized while shrinking
+	// (default 800).
+	ShrinkTrials int
+}
+
+func (c *Config) setDefaults(defaultWorkers int) {
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers
+	}
+	if c.Budget <= 0 {
+		c.Budget = 50000
+	}
+	if c.PerInstant <= 0 {
+		c.PerInstant = 1024
+	}
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = 64
+	}
+	if c.ShrinkTrials <= 0 {
+		c.ShrinkTrials = 800
+	}
+}
+
+// Stats counts an exploration, pFSCK-style: how much state space was
+// covered and how fast the parallel checkers got through it.
+type Stats struct {
+	Requests int `json:"requests"` // recorded requests (reads + writes)
+	Writes   int `json:"writes"`   // recorded writes
+	Instants int `json:"instants"` // crash instants enumerated
+
+	Explored  int64 `json:"explored"`  // crash states generated
+	Deduped   int64 `json:"deduped"`   // states skipped as duplicate images
+	Checked   int64 `json:"checked"`   // distinct images run through fsck
+	Violating int64 `json:"violating"` // distinct images with rule violations
+
+	ElapsedSec    float64 `json:"elapsed_sec"`     // wall-clock exploration time
+	CheckedPerSec float64 `json:"checked_per_sec"` // fsck throughput
+}
+
+// WriteInfo describes one offending write in a violation or repro.
+type WriteInfo struct {
+	ID      uint64 `json:"id"`
+	LBN     int64  `json:"lbn"`
+	Sectors int    `json:"sectors"`
+}
+
+func (w WriteInfo) String() string {
+	return fmt.Sprintf("write #%d [lbn %d, %d sectors]", w.ID, w.LBN, w.Sectors)
+}
+
+// Violation is one violating crash state.
+type Violation struct {
+	Seq int64 `json:"seq"` // generation sequence number (deterministic)
+	// Instant is the crash instant's index into the event timeline.
+	Instant int `json:"instant"`
+	// Completed is the number of writes durably completed at the instant.
+	Completed int `json:"completed"`
+	// Applied lists the pending writes hypothesized complete.
+	Applied []WriteInfo `json:"applied,omitempty"`
+	// Partial, if non-nil, is the write caught mid-transfer with
+	// PartialSectors sectors committed.
+	Partial        *WriteInfo `json:"partial,omitempty"`
+	PartialSectors int        `json:"partial_sectors,omitempty"`
+	Findings       []string   `json:"findings"`
+}
+
+// Repro is a shrunk violation: the minimal dependency-closed write subset
+// that still violates, named by request.
+type Repro struct {
+	Writes         []WriteInfo `json:"writes"`
+	Partial        *WriteInfo  `json:"partial,omitempty"`
+	PartialSectors int         `json:"partial_sectors,omitempty"`
+	Findings       []string    `json:"findings"`
+	Trials         int         `json:"trials"`
+}
+
+func (r *Repro) String() string {
+	s := fmt.Sprintf("minimal repro: %d writes", len(r.Writes))
+	for _, w := range r.Writes {
+		s += "\n  " + w.String()
+	}
+	if r.Partial != nil {
+		s += fmt.Sprintf("\n  %v cut at %d sectors", *r.Partial, r.PartialSectors)
+	}
+	for _, f := range r.Findings {
+		s += "\n  => " + f
+	}
+	return s
+}
+
+// Result is the outcome of one exploration.
+type Result struct {
+	Stats      Stats       `json:"stats"`
+	Violations []Violation `json:"violations,omitempty"`
+	Repro      *Repro      `json:"repro,omitempty"`
+}
+
+// Clean reports whether no checked image violated an ordering rule.
+func (r *Result) Clean() bool { return r.Stats.Violating == 0 }

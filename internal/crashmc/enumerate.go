@@ -1,0 +1,502 @@
+package crashmc
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metaupdate/internal/disk"
+	"metaupdate/internal/fsck"
+)
+
+// job is one crash state handed to the checker pool: a shared committed
+// snapshot plus the pending-write deltas hypothesized durable.
+type job struct {
+	seq       int64
+	img       []byte // committed image for the instant; read-only
+	subset    []*node
+	partial   *node
+	psec      int
+	instant   int
+	completed int // writes durably completed at the instant
+}
+
+// explorer walks the recorded timeline and generates crash states.
+type explorer struct {
+	rec *Recorder
+	cfg Config
+
+	jobs      chan job
+	committed []byte
+	shared    bool // committed is referenced by emitted jobs
+	doneSet   map[uint64]struct{}
+	doneOrder []*node // completed writes, completion order
+	pending   []*node // pending writes, submission (ID) order
+	instant   int
+	explored  int64
+	stopped   bool // budget exhausted
+
+	// Per-sector signature pre-filter. A crash image is exactly its
+	// per-sector content, so its signature is the XOR over all written
+	// sectors of mix(sector, content fingerprint) — XOR makes the
+	// signature incrementally maintainable: doneXor tracks the committed
+	// image, and a candidate adjusts it by the sectors its subset and
+	// partial would overwrite (newest writer per sector wins, as the
+	// driver's conflict rule guarantees overlapping writes land in ID
+	// order). Candidates whose signature was already seen are duplicate
+	// images — across subsets AND across crash instants — and are skipped
+	// before paying for a full-image copy and hash; under the async
+	// schemes most candidates collapse this way.
+	doneSec    map[int64]uint64 // sector -> content fingerprint (seeded from base)
+	doneXor    uint64
+	seenSec    map[int64]int // per-candidate scratch: sector -> generation
+	gen        int
+	sigSeen    map[uint64]struct{}
+	preDeduped int64
+}
+
+// mix spreads a (sector, content fingerprint) pair into the XOR signature
+// (splitmix64-style finalizer).
+func mix(s int64, h uint64) uint64 {
+	x := uint64(s)*0x9E3779B97F4A7C15 ^ h
+	x ^= x >> 32
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 32
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 32
+	return x
+}
+
+// Explore enumerates the crash-state space of the recorded run and checks
+// every distinct image. Call it only after the simulation has stopped.
+func (r *Recorder) Explore(cfg Config) *Result {
+	cfg.setDefaults(runtime.GOMAXPROCS(0))
+	start := time.Now()
+
+	x := &explorer{
+		rec:       r,
+		cfg:       cfg,
+		jobs:      make(chan job, 4*cfg.Workers),
+		committed: append([]byte(nil), r.base...),
+		doneSet:   make(map[uint64]struct{}),
+		doneSec:   make(map[int64]uint64),
+		seenSec:   make(map[int64]int),
+		sigSeen:   make(map[uint64]struct{}),
+	}
+	// Seed the signature with the base image's fingerprint for every sector
+	// a recorded write can touch. Without this, a write carrying bytes
+	// identical to what the base already holds would change the signature
+	// while leaving the image unchanged — two content-equal states with
+	// different signatures, breaking the signature's defining property of
+	// being a pure function of image content.
+	for _, n := range r.nodes {
+		if !n.write {
+			continue
+		}
+		for i := 0; i < n.count; i++ {
+			s := n.lbn + int64(i)
+			if _, ok := x.doneSec[s]; ok {
+				continue
+			}
+			h := maphash.Bytes(r.hseed, r.base[s*disk.SectorSize:(s+1)*disk.SectorSize])
+			x.doneSec[s] = h
+			x.doneXor ^= mix(s, h)
+		}
+	}
+	pool := newCheckerPool(cfg, len(r.base))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.run(x.jobs)
+		}()
+	}
+
+	x.emitInstant() // the pre-workload image
+	for _, ev := range r.events {
+		if x.stopped {
+			break
+		}
+		if ev.submit != 0 {
+			n := r.nodes[ev.submit]
+			if n == nil || !n.write {
+				continue // reads change neither media nor legal subsets
+			}
+			x.pending = append(x.pending, n)
+		} else {
+			if x.shared {
+				x.committed = append([]byte(nil), x.committed...)
+				x.shared = false
+			}
+			for _, id := range ev.complete {
+				n := r.nodes[id]
+				if n == nil || !n.write {
+					continue
+				}
+				n.apply(x.committed)
+				for i := 0; i < n.count; i++ {
+					s := n.lbn + int64(i)
+					if old, ok := x.doneSec[s]; ok {
+						x.doneXor ^= mix(s, old)
+					}
+					x.doneXor ^= mix(s, n.sech[i])
+					x.doneSec[s] = n.sech[i]
+				}
+				x.doneSet[id] = struct{}{}
+				x.doneOrder = append(x.doneOrder, n)
+				x.removePending(id)
+			}
+		}
+		x.instant++
+		x.emitInstant()
+	}
+	close(x.jobs)
+	wg.Wait()
+
+	res := &Result{
+		Stats: Stats{
+			Requests:  len(r.nodes),
+			Writes:    r.writes,
+			Instants:  x.instant + 1,
+			Explored:  x.explored,
+			Deduped:   x.preDeduped + pool.deduped.Load(),
+			Checked:   pool.checked.Load(),
+			Violating: pool.violating.Load(),
+		},
+		Violations: pool.takeViolations(),
+	}
+	res.Stats.ElapsedSec = time.Since(start).Seconds()
+	if res.Stats.ElapsedSec > 0 {
+		res.Stats.CheckedPerSec = float64(res.Stats.Checked) / res.Stats.ElapsedSec
+	}
+	if cfg.Shrink && len(res.Violations) > 0 {
+		res.Repro = r.shrink(res.Violations[0], cfg, x.doneOrder)
+	}
+	return res
+}
+
+// signature computes the candidate's image signature without materializing
+// it: start from the committed image's XOR and swap in the sectors the
+// hypothesized writes would overwrite. The partial is always the newest
+// writer over its range (the enumerator never pairs it with a dependent),
+// then the subset newest-first; the first claimant of each sector wins,
+// exactly matching what apply in ID order would leave on the media. Equal
+// signatures mean equal images (modulo 64-bit collisions, the same bet the
+// content dedup makes); distinct images always get distinct signatures.
+func (x *explorer) signature(subset []*node, partial *node, psec int) uint64 {
+	x.gen++
+	sig := x.doneXor
+	claim := func(n *node, count int) {
+		for i := 0; i < count; i++ {
+			s := n.lbn + int64(i)
+			if x.seenSec[s] == x.gen {
+				continue // a newer writer already claimed this sector
+			}
+			x.seenSec[s] = x.gen
+			if old, ok := x.doneSec[s]; ok {
+				sig ^= mix(s, old)
+			}
+			sig ^= mix(s, n.sech[i])
+		}
+	}
+	if partial != nil {
+		claim(partial, psec)
+	}
+	for i := len(subset) - 1; i >= 0; i-- {
+		claim(subset[i], subset[i].count)
+	}
+	return sig
+}
+
+func (x *explorer) removePending(id uint64) {
+	for i, n := range x.pending {
+		if n.id == id {
+			x.pending = append(x.pending[:i], x.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// emitInstant generates the crash states of the current instant, in a
+// deterministic order designed to surface violations early under a budget:
+// the as-executed image first, then the all-pending image, then every
+// leave-one-out subset (drop one write plus its dependents — the shape of
+// a missed-ordering bug), then a DFS over the remaining legal subsets.
+func (x *explorer) emitInstant() {
+	emitted, attempts := 0, 0
+	attemptCap := 32 * x.cfg.PerInstant
+	emit := func(subset []*node, partial *node, psec int) bool {
+		if x.stopped || emitted >= x.cfg.PerInstant || attempts >= attemptCap {
+			return false
+		}
+		if x.explored >= int64(x.cfg.Budget) {
+			x.stopped = true
+			return false
+		}
+		attempts++
+		sig := x.signature(subset, partial, psec)
+		if _, dup := x.sigSeen[sig]; dup {
+			x.preDeduped++
+			return true // duplicate image: skip cheaply, keep enumerating
+		}
+		x.sigSeen[sig] = struct{}{}
+		x.explored++
+		emitted++
+		x.shared = true
+		x.jobs <- job{
+			seq:       x.explored,
+			img:       x.committed,
+			subset:    append([]*node(nil), subset...),
+			partial:   partial,
+			psec:      psec,
+			instant:   x.instant,
+			completed: len(x.doneOrder),
+		}
+		return true
+	}
+	// eligible reports whether n's outstanding predecessors are all in
+	// `in` (nil means: none may be outstanding).
+	eligible := func(n *node, in map[uint64]struct{}) bool {
+		for _, p := range n.effPreds {
+			if _, done := x.doneSet[p]; done {
+				continue
+			}
+			if in == nil {
+				return false
+			}
+			if _, ok := in[p]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	emitPartials := func(subset []*node, in map[uint64]struct{}, w *node) bool {
+		if !eligible(w, in) {
+			return true
+		}
+		for s := 1; s < w.count; s++ {
+			if !emit(subset, w, s) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// 1. The as-executed crash image: completed writes only — plus the
+	// sector prefixes of every write that could have been mid-transfer.
+	emit(nil, nil, 0)
+	for _, n := range x.pending {
+		if !emitPartials(nil, nil, n) {
+			return
+		}
+	}
+	if len(x.pending) == 0 {
+		return
+	}
+
+	// 2. Everything pending durable (always barrier-closed).
+	emit(x.pending, nil, 0)
+
+	// 3. Leave-one-out: drop each write plus its transitive dependents.
+	idx := make(map[uint64]int, len(x.pending))
+	for i, n := range x.pending {
+		idx[n.id] = i
+	}
+	children := make([][]int, len(x.pending))
+	for i, n := range x.pending {
+		for _, p := range n.effPreds {
+			if pi, ok := idx[p]; ok {
+				children[pi] = append(children[pi], i)
+			}
+		}
+	}
+	closure := func(i int) map[int]struct{} {
+		drop := map[int]struct{}{i: {}}
+		queue := []int{i}
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			for _, c := range children[j] {
+				if _, ok := drop[c]; !ok {
+					drop[c] = struct{}{}
+					queue = append(queue, c)
+				}
+			}
+		}
+		return drop
+	}
+	for i := range x.pending {
+		drop := closure(i)
+		if len(drop) == len(x.pending) {
+			continue // equals the as-executed state
+		}
+		subset := make([]*node, 0, len(x.pending)-len(drop))
+		in := make(map[uint64]struct{})
+		for j, n := range x.pending {
+			if _, gone := drop[j]; !gone {
+				subset = append(subset, n)
+				in[n.id] = struct{}{}
+			}
+		}
+		if !emit(subset, nil, 0) {
+			return
+		}
+		// The dropped write caught mid-transfer over this subset.
+		if !emitPartials(subset, in, x.pending[i]) {
+			return
+		}
+	}
+
+	// 4. DFS over the remaining barrier-closed subsets, include-first.
+	chosen := make(map[uint64]struct{})
+	var cur []*node
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if i == len(x.pending) {
+			return true
+		}
+		n := x.pending[i]
+		if eligible(n, chosen) {
+			chosen[n.id] = struct{}{}
+			cur = append(cur, n)
+			ok := emit(cur, nil, 0)
+			if ok {
+				for s := 1; s < n.count && ok; s++ {
+					ok = emit(cur[:len(cur)-1], n, s)
+				}
+			}
+			if ok {
+				ok = dfs(i + 1)
+			}
+			delete(chosen, n.id)
+			cur = cur[:len(cur)-1]
+			if !ok {
+				return false
+			}
+		}
+		return dfs(i + 1)
+	}
+	dfs(0)
+}
+
+// checkerPool holds the state shared by the image-checking workers.
+type checkerPool struct {
+	cfg      Config
+	imgBytes int
+	seed     maphash.Seed
+
+	mu   sync.Mutex
+	seen map[uint64]struct{}
+
+	deduped   atomic.Int64
+	checked   atomic.Int64
+	violating atomic.Int64
+
+	vmu        sync.Mutex
+	violations []Violation
+}
+
+func newCheckerPool(cfg Config, imgBytes int) *checkerPool {
+	return &checkerPool{
+		cfg:      cfg,
+		imgBytes: imgBytes,
+		seed:     maphash.MakeSeed(),
+		seen:     make(map[uint64]struct{}),
+	}
+}
+
+func (cp *checkerPool) run(jobs <-chan job) {
+	scratch := make([]byte, cp.imgBytes)
+	for j := range jobs {
+		copy(scratch, j.img)
+		for _, n := range j.subset {
+			n.apply(scratch)
+		}
+		if j.partial != nil {
+			j.partial.applyPrefix(scratch, j.psec)
+		}
+		h := maphash.Bytes(cp.seed, scratch)
+		cp.mu.Lock()
+		if _, dup := cp.seen[h]; dup {
+			cp.mu.Unlock()
+			cp.deduped.Add(1)
+			continue
+		}
+		cp.seen[h] = struct{}{}
+		cp.mu.Unlock()
+
+		findings := checkImage(scratch, cp.cfg.CheckContent)
+		cp.checked.Add(1)
+		if len(findings) == 0 {
+			continue
+		}
+		cp.violating.Add(1)
+		cp.record(j, findings)
+	}
+}
+
+// record retains the violation, keeping the MaxViolations lowest sequence
+// numbers so the retained set is deterministic under any worker schedule.
+func (cp *checkerPool) record(j job, findings []string) {
+	v := Violation{
+		Seq:       j.seq,
+		Instant:   j.instant,
+		Completed: j.completed,
+		Findings:  findings,
+	}
+	for _, n := range j.subset {
+		v.Applied = append(v.Applied, WriteInfo{ID: n.id, LBN: n.lbn, Sectors: n.count})
+	}
+	if j.partial != nil {
+		v.Partial = &WriteInfo{ID: j.partial.id, LBN: j.partial.lbn, Sectors: j.partial.count}
+		v.PartialSectors = j.psec
+	}
+	cp.vmu.Lock()
+	defer cp.vmu.Unlock()
+	if len(cp.violations) < cp.cfg.MaxViolations {
+		cp.violations = append(cp.violations, v)
+		return
+	}
+	maxAt, maxSeq := -1, int64(-1)
+	for i, o := range cp.violations {
+		if o.Seq > maxSeq {
+			maxAt, maxSeq = i, o.Seq
+		}
+	}
+	if v.Seq < maxSeq {
+		cp.violations[maxAt] = v
+	}
+}
+
+func (cp *checkerPool) takeViolations() []Violation {
+	cp.vmu.Lock()
+	defer cp.vmu.Unlock()
+	sort.Slice(cp.violations, func(i, j int) bool { return cp.violations[i].Seq < cp.violations[j].Seq })
+	return cp.violations
+}
+
+// checkImage runs the fsck oracle over one image and returns the rule
+// violations as strings. A panic inside fsck (a corrupted superblock
+// leading it somewhere unmapped) is itself reported as a violation rather
+// than killing the sweep.
+func checkImage(img []byte, content bool) (findings []string) {
+	defer func() {
+		if p := recover(); p != nil {
+			findings = append(findings, fmt.Sprintf("fsck panicked on image: %v", p))
+		}
+	}()
+	for _, f := range fsck.Check(img).Violations() {
+		findings = append(findings, f.String())
+	}
+	if content {
+		for _, f := range fsck.ContentViolations(img) {
+			findings = append(findings, f.String())
+		}
+	}
+	return findings
+}

@@ -117,6 +117,10 @@ func (r *Request) overlaps(q *Request) bool {
 
 // Stat is one traced request, in completion order.
 type Stat struct {
+	// ID is the request ID — the same identifier the crashmc model checker
+	// uses to name offending writes, so violations can be correlated with
+	// this trace's queue/service delays.
+	ID       uint64
 	Op       disk.Op
 	Sectors  int
 	Queue    sim.Duration // submission -> dispatch
@@ -180,6 +184,7 @@ type Driver struct {
 
 	idleC   *sim.Completion
 	crashed bool
+	obs     Observer
 
 	// Debug counters (cheap; retained for tests).
 	DbgFlaggedSubmitted int64
@@ -206,6 +211,25 @@ func New(eng *sim.Engine, dsk *disk.Disk, cfg Config) *Driver {
 // Config returns the driver configuration.
 func (d *Driver) Config() Config { return d.cfg }
 
+// Observer receives the driver's request timeline: a submission event for
+// every request (with the barrier set the driver will enforce) and a
+// completion event for every serviced batch, in virtual-time order. The
+// crash-state model checker records this timeline to enumerate the crash
+// images a workload could leave behind. Callbacks run synchronously in
+// engine context and must not block or re-enter the driver.
+type Observer interface {
+	// RequestSubmitted fires after r's barrier is computed. preds is the
+	// sorted set of pending request IDs that must complete before r; for
+	// writes, r.Data is the exact write source (stable until completion).
+	RequestSubmitted(r *Request, preds []uint64)
+	// RequestsCompleted fires when a batch's data has been moved — writes
+	// are on the media — and before any completion callbacks run.
+	RequestsCompleted(ids []uint64, at sim.Time)
+}
+
+// SetObserver installs (or, with nil, removes) the timeline observer.
+func (d *Driver) SetObserver(o Observer) { d.obs = o }
+
 // QueueLen reports queued (not yet dispatched) requests.
 func (d *Driver) QueueLen() int { return len(d.queue) }
 
@@ -228,11 +252,18 @@ func (d *Driver) Submit(r *Request) *Request {
 	r.ID = d.nextID
 	r.Done = sim.NewCompletion()
 	r.enqueueAt = d.eng.Now()
-	r.waitingOn = make(map[uint64]struct{})
 
 	d.computeBarrier(r)
 	for id := range r.waitingOn {
 		d.blocking[id] = append(d.blocking[id], r)
+	}
+	if d.obs != nil {
+		preds := make([]uint64, 0, len(r.waitingOn))
+		for id := range r.waitingOn {
+			preds = append(preds, id)
+		}
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		d.obs.RequestSubmitted(r, preds)
 	}
 
 	d.queue = append(d.queue, r)
@@ -256,13 +287,28 @@ func (d *Driver) Submit(r *Request) *Request {
 // It scans all pending requests (queue + inflight), which are exactly the
 // requests submitted before r that have not completed.
 func (d *Driver) computeBarrier(r *Request) {
-	wait := func(q *Request) { r.waitingOn[q.ID] = struct{}{} }
+	prior := make([]*Request, 0, len(d.inflight)+len(d.queue))
+	prior = append(prior, d.inflight...)
+	prior = append(prior, d.queue...)
+	r.waitingOn = Predecessors(d.cfg, r, prior, d.lastFlagID)
+}
+
+// Predecessors computes the ordering barrier of r: the IDs among `prior`
+// — the pending (submitted, not completed) requests that precede r, in
+// any order — that must complete before r may be dispatched under cfg.
+// lastFlagID is the ID of the most recently submitted flagged request at
+// r's submission time (zero if none; relevant to ModeFlag only).
+//
+// This is the exact predicate Submit enforces; it is exported because the
+// crash-state model checker (package crashmc) uses the same relation to
+// decide which completed-subsets of pending writes a crash could legally
+// expose, and because the flag-semantics tests pin its behavior directly.
+func Predecessors(cfg Config, r *Request, prior []*Request, lastFlagID uint64) map[uint64]struct{} {
+	waiting := make(map[uint64]struct{})
+	wait := func(q *Request) { waiting[q.ID] = struct{}{} }
 
 	scan := func(f func(q *Request)) {
-		for _, q := range d.inflight {
-			f(q)
-		}
-		for _, q := range d.queue {
+		for _, q := range prior {
 			f(q)
 		}
 	}
@@ -275,14 +321,14 @@ func (d *Driver) computeBarrier(r *Request) {
 		}
 	})
 
-	switch d.cfg.Mode {
+	switch cfg.Mode {
 	case ModeIgnore:
 		// Nothing further.
 	case ModeFlag:
-		if d.cfg.NR && r.Op == disk.Read {
-			return // reads bypass ordering, conflicts already handled
+		if cfg.NR && r.Op == disk.Read {
+			return waiting // reads bypass ordering, conflicts already handled
 		}
-		switch d.cfg.Sem {
+		switch cfg.Sem {
 		case SemPart:
 			// Wait for every pending flagged request.
 			scan(func(q *Request) {
@@ -295,13 +341,13 @@ func (d *Driver) computeBarrier(r *Request) {
 			// recently submitted flagged request (whether or not that
 			// flagged request itself is still pending).
 			scan(func(q *Request) {
-				if q.ID <= d.lastFlagID {
+				if q.ID <= lastFlagID {
 					wait(q)
 				}
 			})
 		case SemFull:
 			scan(func(q *Request) {
-				if q.ID <= d.lastFlagID {
+				if q.ID <= lastFlagID {
 					wait(q)
 				}
 			})
@@ -311,9 +357,13 @@ func (d *Driver) computeBarrier(r *Request) {
 			}
 		}
 	case ModeChains:
+		pending := make(map[uint64]struct{}, len(prior))
+		for _, q := range prior {
+			pending[q.ID] = struct{}{}
+		}
 		for _, id := range r.DependsOn {
-			if _, ok := d.pending[id]; ok {
-				r.waitingOn[id] = struct{}{}
+			if _, ok := pending[id]; ok {
+				waiting[id] = struct{}{}
 			}
 		}
 		// Barrier fallback (section 3.2's simpler de-allocation approach):
@@ -327,6 +377,7 @@ func (d *Driver) computeBarrier(r *Request) {
 			})
 		}
 	}
+	return waiting
 }
 
 func (r *Request) eligible() bool { return len(r.waitingOn) == 0 }
@@ -448,12 +499,20 @@ func (d *Driver) complete(batch []*Request, acc disk.Access) {
 	for _, r := range batch {
 		delete(d.pending, r.ID)
 	}
+	if d.obs != nil {
+		ids := make([]uint64, len(batch))
+		for i, r := range batch {
+			ids[i] = r.ID
+		}
+		d.obs.RequestsCompleted(ids, now)
+	}
 	for _, r := range batch {
 		for _, blocked := range d.blocking[r.ID] {
 			delete(blocked.waitingOn, r.ID)
 		}
 		delete(d.blocking, r.ID)
 		d.Trace.Stats = append(d.Trace.Stats, Stat{
+			ID:       r.ID,
 			Op:       r.Op,
 			Sectors:  r.Count,
 			Queue:    r.dispatchAt - r.enqueueAt,

@@ -272,10 +272,18 @@ func (d *Disk) ReadAt(lbn int64, buf []byte) {
 	copy(buf, d.data[lbn*SectorSize:lbn*SectorSize+int64(len(buf))])
 }
 
-// Image returns the raw media contents (not a copy); fsck reads this.
+// Image returns the raw media contents, NOT a copy: the returned slice
+// aliases the live media, so any later simulated write — including the
+// sector-prefix commits of Driver.Crash — mutates it in place. It exists
+// for in-place mutators (Format) and for read-only inspection of a halted
+// simulation. Anything that captures a crash image for later analysis
+// while the system may still move (fsim.System.Crash, the crash tests,
+// the crashmc base snapshot) must use CloneImage instead.
 func (d *Disk) Image() []byte { return d.data }
 
-// CloneImage returns a copy of the media, for before/after comparisons.
+// CloneImage returns an independent copy of the media — the required form
+// for crash images and before/after comparisons (see Image for the
+// aliasing hazard it avoids).
 func (d *Disk) CloneImage() []byte {
 	c := make([]byte, len(d.data))
 	copy(c, d.data)

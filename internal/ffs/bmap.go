@@ -191,11 +191,37 @@ func (fs *FS) growBlock(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff, bi
 			// Existing block is already big enough.
 			b := fs.cache.Bread(p, int64(frag), oldNF)
 			b.Hold()
-			if fill != nil {
-				fs.cache.PrepareModify(p, b)
-				fill(b.Data)
+			if fill == nil {
+				fs.updateSize(p, ip, ib, ioff, newSize)
+				b.Unhold()
+				return b, nil
 			}
-			fs.updateSize(p, ip, ib, ioff, newSize)
+			// A fresh chunk inside already-allocated space (a directory
+			// growing into the unused tail of its fragment): the size bump
+			// points at bytes the old size never covered, so the chunk's
+			// initialization must be ordered before the size can reach the
+			// disk (rule 1), exactly as for a newly allocated block.
+			fs.cache.PrepareModify(p, b)
+			fill(b.Data)
+			rec := &AllocRec{
+				FS: fs, NewBuf: b, NewFrag: frag, NewNFr: oldNF, IsDir: isDir,
+				OwnerBuf: ib, OwnerIno: ino, PtrOff: ioff + InoDirectOff(bi),
+				OldPtr: frag, OldSize: oldSize, NewSize: newSize,
+			}
+			if bi >= NDirect {
+				rec.OwnerIsIndir = true
+				rec.OwnerBuf = loc.buf
+				rec.PtrOff = loc.off
+			}
+			rec.DataInit = b.Data
+			fs.ord.AllocInit(p, rec)
+			fs.updateSizeRaw(p, ip, ib, ioff, newSize)
+			fs.ord.AllocPtr(p, rec)
+			if rec.OwnerIsIndir {
+				// The size bytes live in the inode block, which must also
+				// reach the disk eventually.
+				fs.ord.MetaUpdate(p, ib)
+			}
 			b.Unhold()
 			return b, nil
 		}
@@ -250,6 +276,7 @@ func (fs *FS) growBlock(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff, bi
 			OwnerBuf: loc.buf, OwnerIno: ino, OwnerIsIndir: loc.isIndir,
 			PtrOff: loc.off, OldPtr: frag, OldSize: oldSize, NewSize: newSize,
 			MovedFrom: &FragRun{Start: frag, N: oldNF},
+			OldBuf:    b,
 		}
 		if !loc.isIndir {
 			rec.OwnerBuf = ib

@@ -79,6 +79,14 @@ type AllocRec struct {
 	// had to move the tail to a new location; it must not be re-used until
 	// the new pointer is safely on disk (rule 2).
 	MovedFrom *FragRun
+
+	// OldBuf is the buffer the new block's contents were copied from on a
+	// fragment move (nil otherwise). The copied bytes carry the old
+	// buffer's unmet ordering obligations — a scheme tracking per-write
+	// dependencies must transfer them, because the new location no longer
+	// overlaps the old one and the device's conflict ordering cannot cover
+	// it.
+	OldBuf *cache.Buf
 }
 
 // LinkRec describes one link addition (create, mkdir, link, rename target).

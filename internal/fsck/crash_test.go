@@ -123,11 +123,13 @@ func metadataChurn(p *sim.Proc, fs *ffs.FS) {
 }
 
 // crashAt replays the deterministic workload and freezes the system at t.
+// The returned image is a CloneImage copy: Crash's prefix commits have
+// landed, and nothing can mutate it behind the caller's back.
 func crashAt(t *testing.T, scheme string, allocInit bool, at sim.Time) []byte {
 	r := buildCrashRig(t, scheme, allocInit, metadataChurn)
 	r.eng.RunUntil(at)
 	r.drv.Crash(at)
-	return r.dsk.Image()
+	return r.dsk.CloneImage()
 }
 
 // totalRuntime measures the full (uncrashed) duration of the workload.

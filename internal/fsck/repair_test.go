@@ -1,6 +1,8 @@
 package fsck_test
 
 import (
+	"encoding/binary"
+	"strings"
 	"testing"
 
 	"metaupdate/internal/ffs"
@@ -95,6 +97,134 @@ func TestRepairClearsDanglingEntries(t *testing.T) {
 	fsck.Repair(img)
 	if v := fsck.Check(img).Violations(); len(v) != 0 {
 		t.Fatalf("dangling entry survived repair: %v", v)
+	}
+}
+
+// TestRepairFreesOrphanInodes manufactures an allocated inode no directory
+// references — the shape a crash leaves when the inode write beat the
+// directory entry to disk and the entry never made it.
+func TestRepairFreesOrphanInodes(t *testing.T) {
+	r := buildCrashRig(t, "noorder", false, metadataChurn)
+	r.eng.Run()
+	img := r.dsk.CloneImage()
+	sb := superblockOf(t, img)
+	var orphan ffs.Ino
+	for ino := ffs.Ino(3); uint32(ino) < sb.NInodes; ino++ {
+		frag, off := sb.InodeFrag(ino)
+		if ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):]); !ip.Allocated() {
+			orphan = ino
+			ip = ffs.Inode{Mode: ffs.ModeFile, Nlink: 1}
+			ffs.EncodeInode(&ip, img[int64(frag)*ffs.FragSize+int64(off):])
+			break
+		}
+	}
+	if orphan == 0 {
+		t.Skip("no free inode to orphan")
+	}
+	actions := fsck.Repair(img)
+	frag, off := sb.InodeFrag(orphan)
+	if ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):]); ip.Allocated() {
+		t.Fatalf("orphan inode %d still allocated after repair", orphan)
+	}
+	if !strings.Contains(strings.Join(actions, "\n"), "orphan") {
+		t.Errorf("repair log doesn't mention the orphan: %v", actions)
+	}
+	if rep := fsck.Check(img); len(rep.Findings) != 0 {
+		t.Fatalf("image not clean after repair: %v", rep.Findings[0])
+	}
+}
+
+// TestRepairReclaimsLeaks marks a free fragment and a free inode as
+// allocated in the bitmaps — leaked space, the benign inconsistency every
+// scheme in the paper tolerates — and wants both bits reclaimed by the
+// bitmap rebuild.
+func TestRepairReclaimsLeaks(t *testing.T) {
+	r := buildCrashRig(t, "noorder", false, metadataChurn)
+	r.eng.Run()
+	img := r.dsk.CloneImage()
+	sb := superblockOf(t, img)
+	fbm := img[int64(sb.FBmapStart)*ffs.FragSize:]
+	var leakedFrag int32 = -1
+	for f := sb.TotalFrags - 1; f >= sb.DataStart; f-- {
+		if fbm[f/8]&(1<<(uint(f)%8)) == 0 {
+			fbm[f/8] |= 1 << (uint(f) % 8)
+			leakedFrag = f
+			break
+		}
+	}
+	ibm := img[int64(sb.IBmapStart)*ffs.FragSize:]
+	var leakedIno ffs.Ino
+	for ino := ffs.Ino(sb.NInodes - 1); ino > ffs.RootIno; ino-- {
+		if ibm[ino/8]&(1<<(uint(ino)%8)) == 0 {
+			ibm[ino/8] |= 1 << (uint(ino) % 8)
+			leakedIno = ino
+			break
+		}
+	}
+	if leakedFrag < 0 || leakedIno == 0 {
+		t.Skip("nothing free to leak")
+	}
+	fsck.Repair(img)
+	if fbm[leakedFrag/8]&(1<<(uint(leakedFrag)%8)) != 0 {
+		t.Errorf("leaked fragment %d not reclaimed", leakedFrag)
+	}
+	if ibm[leakedIno/8]&(1<<(uint(leakedIno)%8)) != 0 {
+		t.Errorf("leaked inode %d not reclaimed", leakedIno)
+	}
+	if rep := fsck.Check(img); len(rep.Findings) != 0 {
+		t.Fatalf("image not clean after repair: %v", rep.Findings[0])
+	}
+}
+
+// TestRepairReformatsGarbageDirChunk scribbles over a directory's first
+// chunk — what a torn multi-sector directory write leaves behind — and
+// wants the chunk reformatted with "." and ".." reseeded.
+func TestRepairReformatsGarbageDirChunk(t *testing.T) {
+	r := buildCrashRig(t, "noorder", false, metadataChurn)
+	r.eng.Run()
+	img := r.dsk.CloneImage()
+	sb := superblockOf(t, img)
+	var dir ffs.Ino
+	var head []byte
+	for ino := ffs.Ino(3); uint32(ino) < sb.NInodes; ino++ {
+		frag, off := sb.InodeFrag(ino)
+		ip := ffs.DecodeInode(img[int64(frag)*ffs.FragSize+int64(off):])
+		if ip.IsDir() && ip.Direct[0] >= sb.DataStart && ip.Direct[0] < sb.TotalFrags {
+			dir = ino
+			head = img[int64(ip.Direct[0])*ffs.FragSize:]
+			break
+		}
+	}
+	if dir == 0 {
+		t.Skip("no non-root directory")
+	}
+	for i := 0; i < ffs.DirChunk; i++ {
+		head[i] = 0xAB // invalid reclen everywhere
+	}
+	fsck.Repair(img)
+	le := binary.LittleEndian
+	if got := ffs.Ino(le.Uint32(head[0:])); got != dir {
+		t.Errorf("reformatted chunk's '.' names inode %d, want %d", got, dir)
+	}
+	if name := string(head[8 : 8+head[6]]); name != "." {
+		t.Errorf("first reseeded entry is %q, want %q", name, ".")
+	}
+	if rep := fsck.Check(img); len(rep.Findings) != 0 {
+		t.Fatalf("image not clean after repair: %v", rep.Findings[0])
+	}
+}
+
+// TestRepairIdempotent: repairing a repaired image must be a no-op — the
+// clean re-check above is only trustworthy if Repair converges.
+func TestRepairIdempotent(t *testing.T) {
+	total := totalRuntime(t, "noorder", false)
+	img := crashAt(t, "noorder", false, total/2)
+	fsck.Repair(img)
+	if again := fsck.Repair(img); len(again) != 0 {
+		t.Fatalf("second repair still acted: %v", again)
+	}
+	if rep := fsck.Check(img); len(rep.Findings) != 0 {
+		t.Fatalf("image not clean after repair: %v", rep.Findings[0])
 	}
 }
 

@@ -201,6 +201,18 @@ func (o *Chains) AllocInit(p *sim.Proc, rec *ffs.AllocRec) {
 			addDep(rec.OwnerBuf, id)
 		}
 	}
+	if rec.OldBuf != nil {
+		// Fragment move: the new location's contents were copied from the
+		// old buffer, and its unmet ordering obligations come with them.
+		// Deps still pending on the old buffer transfer directly; deps
+		// already consumed by an in-flight write of the old buffer are
+		// covered transitively by naming that write (the move's write no
+		// longer overlaps it, so device conflict ordering cannot).
+		for _, d := range rec.OldBuf.WriteDeps {
+			addDep(rec.NewBuf, d)
+		}
+		addDep(rec.NewBuf, o.issued[rec.OldBuf])
+	}
 	if rec.IsDir || rec.IsIndir || rec.FS.Config().AllocInit {
 		id := o.chainWrite(p, rec.NewBuf)
 		// The owner's pointer write must follow the initialization.

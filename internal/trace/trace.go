@@ -202,7 +202,7 @@ func ResponseHistogram(stats []dev.Stat) *Histogram {
 
 // WriteCSV exports the raw trace, one request per row.
 func WriteCSV(w io.Writer, stats []dev.Stat) error {
-	if _, err := fmt.Fprintln(w, "op,sectors,queue_ms,service_ms,response_ms,cache_hit"); err != nil {
+	if _, err := fmt.Fprintln(w, "id,op,sectors,queue_ms,service_ms,response_ms,cache_hit"); err != nil {
 		return err
 	}
 	for _, st := range stats {
@@ -210,8 +210,8 @@ func WriteCSV(w io.Writer, stats []dev.Stat) error {
 		if st.CacheHit {
 			hit = 1
 		}
-		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%d\n",
-			st.Op, st.Sectors, st.Queue.Milliseconds(), st.Service.Milliseconds(),
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%.3f,%.3f,%.3f,%d\n",
+			st.ID, st.Op, st.Sectors, st.Queue.Milliseconds(), st.Service.Milliseconds(),
 			st.Response.Milliseconds(), hit); err != nil {
 			return err
 		}

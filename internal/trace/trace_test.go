@@ -105,10 +105,10 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("%d lines", len(lines))
 	}
-	if lines[0] != "op,sectors,queue_ms,service_ms,response_ms,cache_hit" {
+	if lines[0] != "id,op,sectors,queue_ms,service_ms,response_ms,cache_hit" {
 		t.Fatalf("header: %s", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "read,16,1.500,10.000,11.500,") {
+	if !strings.HasPrefix(lines[1], "0,read,16,1.500,10.000,11.500,") {
 		t.Fatalf("row: %s", lines[1])
 	}
 }
