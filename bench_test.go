@@ -1,9 +1,10 @@
 // Package metaupdate's root benchmarks regenerate each of the paper's
 // tables and figures through the testing.B interface, one benchmark per
 // exhibit. They run at reduced workload scale so `go test -bench=.`
-// completes quickly; the mdsim command runs the same experiments at paper
-// scale (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
-// paper-vs-measured comparison).
+// completes quickly, with each exhibit's simulation cells fanned out
+// across GOMAXPROCS runner workers; the mdsim command runs the same
+// experiments at paper scale (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for the paper-vs-measured comparison).
 //
 // Reported custom metrics are virtual-time results (the simulation's
 // deterministic outputs), not wall-clock noise:
@@ -27,15 +28,18 @@ const benchScale = harness.Scale(0.1)
 
 // runExperiment executes a harness experiment once per iteration and
 // reports the first numeric column of the first and last rows, which are
-// the extremes the paper's shape claims are about.
+// the extremes the paper's shape claims are about. Each iteration gets a
+// fresh cold runner (GOMAXPROCS-wide), so the measured time is the real
+// cost of regenerating the exhibit from scratch — cells fan out across
+// cores, but nothing is served from a previous iteration's memo.
 func runExperiment(b *testing.B, name string, col int) {
-	cfg := harness.Config{Scale: benchScale}
 	run := harness.Experiments[name]
 	if run == nil {
 		b.Fatalf("unknown experiment %q", name)
 	}
 	var tables []harness.Table
 	for i := 0; i < b.N; i++ {
+		cfg := harness.Config{Scale: benchScale, Runner: harness.NewRunner(0)}
 		tables = run(cfg)
 	}
 	for _, t := range tables {

@@ -5,19 +5,25 @@
 //	mdsim -list
 //	mdsim -exp table1
 //	mdsim -exp fig5 -scale 0.25
-//	mdsim -exp all
+//	mdsim -exp all -j 8
+//	mdsim -exp all -scale 0.1 -json results.json
 //
-// Each experiment builds fresh simulated systems (CPU, disk, driver, cache,
-// file system) for every configuration it compares, runs the paper's
-// workload in deterministic virtual time, and prints the corresponding
-// table. -scale shrinks workload sizes for quicker runs; shapes are stable
-// well below 1.0.
+// Each experiment declares its simulation cells (one self-contained
+// deterministic system + workload per cell); a shared runner executes them
+// on a -j-wide worker pool and memoizes results by fingerprint, so cells
+// common to several exhibits simulate once per process. Tables go to
+// stdout and are byte-identical for any -j and for cold or warm memos;
+// timing and cache diagnostics go to stderr. -scale shrinks workload sizes
+// for quicker runs; shapes are stable well below 1.0. -json additionally
+// writes the machine-readable report (rows, per-cell wall-clock,
+// memoization counters).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,6 +35,8 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment to run (see -list), or 'all'")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-sized)")
+	jobs := flag.Int("j", 0, "max simulation cells in flight (0: GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "also write a machine-readable report to this file")
 	list := flag.Bool("list", false, "list available experiments")
 	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram)")
 	csvPath := flag.String("csv", "", "with -trace: also write the raw per-request trace as CSV to this file")
@@ -54,24 +62,64 @@ func main() {
 		return
 	}
 
+	runner := harness.NewRunner(*jobs)
 	cfg := harness.DefaultConfig(os.Stdout)
 	cfg.Scale = harness.Scale(*scale)
+	cfg.Runner = runner
 
 	names := []string{*exp}
 	if *exp == "all" {
 		names = harness.ExperimentNames
 	}
+	report := harness.Report{
+		Scale: *scale,
+		Jobs:  runner.Workers(),
+		CPUs:  runtime.NumCPU(),
+	}
+	total := time.Now()
 	for _, name := range names {
-		run, ok := harness.Experiments[name]
-		if !ok {
+		ex := harness.ExhibitByName[name]
+		if ex == nil {
 			fmt.Fprintf(os.Stderr, "mdsim: unknown experiment %q (try -list)\n", name)
 			os.Exit(2)
 		}
 		start := time.Now()
-		for _, t := range run(cfg) {
+		tables := ex.Tables(cfg)
+		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
-		fmt.Printf("\n[%s completed in %.1fs of real time]\n", name, time.Since(start).Seconds())
+		wall := time.Since(start)
+		// Diagnostics go to stderr so stdout stays byte-identical across
+		// -j values and cache states.
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs of real time]\n", name, wall.Seconds())
+		report.Exhibits = append(report.Exhibits, harness.ExhibitReport{
+			Name: name, WallSec: wall.Seconds(), Tables: tables,
+		})
+	}
+	report.WallSec = time.Since(total).Seconds()
+	report.Runner = runner.Stats()
+	report.Cells = runner.CellTimings()
+	st := report.Runner
+	fmt.Fprintf(os.Stderr,
+		"[runner: %d cells simulated, %d memo hits, %d workers, %.1fs cell time in %.1fs wall]\n",
+		st.Executed, st.Hits, st.Workers, st.CellWall, report.WallSec)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[wrote JSON report to %s]\n", *jsonPath)
 	}
 }
 

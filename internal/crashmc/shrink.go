@@ -13,12 +13,11 @@ package crashmc
 // handful of writes whose ordering the scheme got wrong.
 func (r *Recorder) shrink(v Violation, cfg Config, doneOrder []*node) *Repro {
 	trials := 0
-	violates := func(writes []*node, partial *node, psec int) bool {
-		if trials >= cfg.ShrinkTrials {
-			return false // out of budget: refuse the reduction, keep going
-		}
-		trials++
-		img := make([]byte, len(r.base))
+	// One scratch image for every trial: the shrinker is single-threaded,
+	// so reusing the buffer (like the checker pool's per-worker scratch)
+	// avoids an image-sized allocation per candidate.
+	img := make([]byte, len(r.base))
+	materialize := func(writes []*node, partial *node, psec int) {
 		copy(img, r.base)
 		for _, n := range writes {
 			n.apply(img)
@@ -26,6 +25,13 @@ func (r *Recorder) shrink(v Violation, cfg Config, doneOrder []*node) *Repro {
 		if partial != nil {
 			partial.applyPrefix(img, psec)
 		}
+	}
+	violates := func(writes []*node, partial *node, psec int) bool {
+		if trials >= cfg.ShrinkTrials {
+			return false // out of budget: refuse the reduction, keep going
+		}
+		trials++
+		materialize(writes, partial, psec)
 		return len(checkImage(img, cfg.CheckContent)) > 0
 	}
 
@@ -130,14 +136,7 @@ func (r *Recorder) shrink(v Violation, cfg Config, doneOrder []*node) *Repro {
 	}
 
 	// Re-materialize the final state for its findings.
-	img := make([]byte, len(r.base))
-	copy(img, r.base)
-	for _, n := range writes {
-		n.apply(img)
-	}
-	if partial != nil {
-		partial.applyPrefix(img, psec)
-	}
+	materialize(writes, partial, psec)
 	rep := &Repro{Findings: checkImage(img, cfg.CheckContent), Trials: trials}
 	for _, n := range writes {
 		rep.Writes = append(rep.Writes, WriteInfo{ID: n.id, LBN: n.lbn, Sectors: n.count})

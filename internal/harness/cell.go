@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"metaupdate/fsim"
+	"metaupdate/internal/sim"
+	"metaupdate/internal/workload"
+)
+
+// CellKind selects the workload a Cell simulates.
+type CellKind int
+
+// The four workload shapes the paper's exhibits are built from.
+const (
+	// CellCopy prepares per-user source trees and runs the N-user copy
+	// benchmark; with Remove set, it then runs the N-user remove benchmark
+	// on the fresh copies (the paper's paired copy/remove methodology).
+	CellCopy CellKind = iota
+	// CellFig5 runs one figure 5 throughput point (1 KB metadata
+	// operations split across the users).
+	CellFig5
+	// CellSdet runs Users concurrent Sdet scripts against shared binaries.
+	CellSdet
+	// CellAndrew runs the five-phase Andrew benchmark (single user).
+	CellAndrew
+)
+
+// Cell is one self-contained deterministic simulation: a complete system
+// configuration plus a workload. Exhibits declare cells and assemble their
+// tables from the resulting CellResults; the Runner decides execution
+// order, parallelism, and reuse. Because every cell builds its own
+// fsim.System (engine, disk, driver, cache, file system) and runs in
+// virtual time, cells share no mutable state and may execute on any worker
+// in any order without changing their results.
+type Cell struct {
+	Kind CellKind
+	Opt  fsim.Options
+
+	// Users is the concurrent-user count (CellCopy, CellFig5, CellSdet).
+	Users int
+	// Scale shrinks the CellCopy tree spec, as in Config.Scale.
+	Scale Scale
+	// Remove additionally runs the remove phase after the copy (CellCopy).
+	Remove bool
+
+	// Fig5 selects the sub-benchmark and TotalFiles the file budget
+	// (CellFig5).
+	Fig5       Fig5Kind
+	TotalFiles int
+
+	// Commands is the per-script command count (CellSdet).
+	Commands int
+}
+
+// CellResult carries every measurement a cell kind can produce; unused
+// fields stay zero. Wall is the real (not virtual) execution time of the
+// cell, recorded once by the worker that ran it — memoized reuses keep the
+// original value.
+type CellResult struct {
+	Copy       copyStats            // CellCopy
+	RemoveRes  copyStats            // CellCopy with Remove
+	Throughput float64              // CellFig5: files per virtual second
+	SdetWall   sim.Duration         // CellSdet: wall virtual time for all scripts
+	Andrew     workload.AndrewTimes // CellAndrew
+	Wall       time.Duration        // real execution time of the simulation
+}
+
+// Fingerprint returns the cell's canonical identity: two cells with equal
+// fingerprints run byte-identical simulations. Every Options field
+// participates, so distinct configurations can never collide; the
+// DiskParams pointer is dereferenced so equal parameter sets compare equal
+// regardless of pointer identity.
+func (c Cell) Fingerprint() string {
+	o := c.Opt
+	dp := "default"
+	if o.DiskParams != nil {
+		dp = fmt.Sprintf("%+v", *o.DiskParams)
+	}
+	return fmt.Sprintf(
+		"k%d|sch%d|sem%d|nr%t|cb%t|exp%t|ai%t|bf%t|ign%t|db%d|fsb%d|ni%d|cby%d|nv%d|sf%d|costs%+v|dp{%s}|u%d|sc%g|rm%t|f5%d|tf%d|cmd%d",
+		c.Kind, o.Scheme, o.Sem, o.NR, o.CB, o.Explicit, o.AllocInit,
+		o.BarrierFrees, o.IgnoreOrdering, o.DiskBytes, o.FSBytes, o.NInodes,
+		o.CacheBytes, o.NVRAMBytes, o.SyncerFraction, o.Costs, dp,
+		c.Users, float64(c.Scale), c.Remove, c.Fig5, c.TotalFiles, c.Commands)
+}
+
+// run executes the cell's simulation from scratch. It is a pure function
+// of the cell value: all state lives inside the freshly built system.
+func (c Cell) run() CellResult {
+	switch c.Kind {
+	case CellCopy:
+		cp, rm := copyBench(c.Opt, c.Users, c.Scale, c.Remove)
+		return CellResult{Copy: cp, RemoveRes: rm}
+	case CellFig5:
+		return CellResult{Throughput: Fig5Point(c.Opt, c.Fig5, c.Users, c.TotalFiles)}
+	case CellSdet:
+		return CellResult{SdetWall: sdetBench(c.Opt, c.Users, c.Commands)}
+	case CellAndrew:
+		return CellResult{Andrew: andrewBench(c.Opt)}
+	}
+	panic(fmt.Sprintf("harness: unknown cell kind %d", c.Kind))
+}
+
+// sdetBench runs Users concurrent Sdet scripts (figure 6's unit of work)
+// and returns the virtual wall time.
+func sdetBench(opt fsim.Options, users, commands int) sim.Duration {
+	sdet := workload.DefaultSdet()
+	sdet.CommandsPerScript = commands
+	sys := mustSystem(opt)
+	defer sys.Shutdown()
+	var bin fsim.Ino
+	sys.Run(func(p *fsim.Proc) {
+		var err error
+		bin, err = sdet.SetupBinaries(p, sys.FS, fsim.RootIno)
+		if err != nil {
+			panic(err)
+		}
+	})
+	sys.Cache.DropClean() // scripts start against a cold cache
+	_, wall := sys.RunUsers(users, func(p *fsim.Proc, u int) {
+		if err := sdet.RunScript(p, sys.FS, fsim.RootIno, bin, u); err != nil {
+			panic(err)
+		}
+	})
+	return wall
+}
+
+// andrewBench runs the five-phase Andrew benchmark (table 3's unit of work).
+func andrewBench(opt fsim.Options) workload.AndrewTimes {
+	sys := mustSystem(opt)
+	defer sys.Shutdown()
+	var times workload.AndrewTimes
+	sys.Run(func(p *fsim.Proc) {
+		var err error
+		times, err = workload.DefaultAndrew().Run(p, sys.FS, fsim.RootIno)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return times
+}

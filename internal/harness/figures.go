@@ -51,11 +51,21 @@ func flagVariant(name string, sem fsim.FlagSemantics, nr, cb, ignore bool) varia
 	}}
 }
 
+// copyCell declares the N-user copy benchmark cell for opt.
+func copyCell(opt fsim.Options, users int, scale Scale) Cell {
+	return Cell{Kind: CellCopy, Opt: opt, Users: users, Scale: scale}
+}
+
+// copyRemoveCell declares the paired copy+remove benchmark cell for opt.
+func copyRemoveCell(opt fsim.Options, users int, scale Scale) Cell {
+	return Cell{Kind: CellCopy, Opt: opt, Users: users, Scale: scale, Remove: true}
+}
+
 // Fig1 reproduces figure 1: the performance impact of ordering-flag
 // semantics on the 4-user copy benchmark — elapsed time (a) and average
 // disk access time (b). All variants use the block-copy enhancement, as in
 // the paper's section 3 comparisons.
-func Fig1(cfg Config) Table {
+var Fig1 = &Exhibit{Name: "fig1", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	variants := []variant{
 		flagVariant("Full", fsim.SemFull, false, true, false),
 		flagVariant("Back", fsim.SemBack, false, true, false),
@@ -69,19 +79,19 @@ func Fig1(cfg Config) Table {
 		Columns: []string{"Flag meaning", "Elapsed (s)", "Avg disk access (ms)", "Disk requests"},
 	}
 	for _, v := range variants {
-		cp, _ := copyBench(v.opt, 4, cfg.Scale, false)
+		cp := get(copyCell(v.opt, 4, cfg.Scale)).Copy
 		t.AddRow(v.name, secs(cp.elapsed), fmt.Sprintf("%.1f", cp.stats.AvgServiceMS),
 			fmt.Sprintf("%d", cp.stats.DiskRequests))
 	}
 	t.Chart = barChartOf("figure 1a: elapsed time", "s", &t, 1)
-	return t
-}
+	return []Table{t}
+}}
 
 // Fig2 reproduces figure 2: flag semantics under the 1-user remove
 // benchmark — user-observed elapsed time (a) and average driver response
 // time (b). With -NR, the *more* restrictive semantics win on response
 // time, the paper's counter-intuitive result.
-func Fig2(cfg Config) Table {
+var Fig2 = &Exhibit{Name: "fig2", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	variants := []variant{
 		flagVariant("Part", fsim.SemPart, false, true, false),
 		flagVariant("Full-NR", fsim.SemFull, true, true, false),
@@ -95,13 +105,13 @@ func Fig2(cfg Config) Table {
 		Columns: []string{"Flag meaning", "Elapsed (s)", "Avg driver response (ms)", "Disk requests"},
 	}
 	for _, v := range variants {
-		_, rm := copyBench(v.opt, 1, cfg.Scale, true)
+		rm := get(copyRemoveCell(v.opt, 1, cfg.Scale)).RemoveRes
 		t.AddRow(v.name, secs2(rm.elapsed), fmt.Sprintf("%.0f", rm.stats.AvgResponseMS),
 			fmt.Sprintf("%d", rm.stats.DiskRequests))
 	}
 	t.Chart = barChartOf("figure 2a: user-observed elapsed time", "s", &t, 1)
-	return t
-}
+	return []Table{t}
+}}
 
 // fig34Variants are the four Part implementations of figures 3 and 4.
 func fig34Variants() []variant {
@@ -115,37 +125,37 @@ func fig34Variants() []variant {
 
 // Fig3 reproduces figure 3: implementation improvements (-NR read bypass,
 // -CB block copying) for the ordering flag on the 4-user copy benchmark.
-func Fig3(cfg Config) Table {
+var Fig3 = &Exhibit{Name: "fig3", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	t := Table{
 		Title:   "Figure 3: flag implementation improvements, 4-user copy",
 		Note:    "paper: Part-NR/CB is best; omitting either enhancement greatly reduces the benefit",
 		Columns: []string{"Implementation", "Elapsed (s)", "CPU (s)", "Avg driver response (ms)"},
 	}
 	for _, v := range fig34Variants() {
-		cp, _ := copyBench(v.opt, 4, cfg.Scale, false)
+		cp := get(copyCell(v.opt, 4, cfg.Scale)).Copy
 		t.AddRow(v.name, secs(cp.elapsed), secs(cp.stats.CPUTime),
 			fmt.Sprintf("%.0f", cp.stats.AvgResponseMS))
 	}
 	t.Chart = barChartOf("figure 3a: elapsed time", "s", &t, 1)
-	return t
-}
+	return []Table{t}
+}}
 
 // Fig4 reproduces figure 4: the same four implementations under the 4-user
 // remove benchmark, where the differences are more substantial.
-func Fig4(cfg Config) Table {
+var Fig4 = &Exhibit{Name: "fig4", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	t := Table{
 		Title:   "Figure 4: flag implementation improvements, 4-user remove",
 		Note:    "paper: same trends as figure 3 but more substantial; very large driver queues",
 		Columns: []string{"Implementation", "Elapsed (s)", "CPU (s)", "Avg driver response (ms)"},
 	}
 	for _, v := range fig34Variants() {
-		_, rm := copyBench(v.opt, 4, cfg.Scale, true)
+		rm := get(copyRemoveCell(v.opt, 4, cfg.Scale)).RemoveRes
 		t.AddRow(v.name, secs2(rm.elapsed), secs2(rm.stats.CPUTime),
 			fmt.Sprintf("%.0f", rm.stats.AvgResponseMS))
 	}
 	t.Chart = barChartOf("figure 4a: elapsed time", "s", &t, 1)
-	return t
-}
+	return []Table{t}
+}}
 
 // Fig5Kind selects the figure 5 sub-benchmark.
 type Fig5Kind int
@@ -161,7 +171,7 @@ const (
 // function of concurrent users for all five schemes — (a) 1 KB creates,
 // (b) removes, (c) create/removes. 10,000 files split among the users at
 // full scale; allocation initialization only for Soft Updates.
-func Fig5(cfg Config) []Table {
+var Fig5 = &Exhibit{Name: "fig5", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	userCounts := []int{1, 2, 4, 8}
 	total := cfg.Scale.files(10000)
 	kinds := []struct {
@@ -186,7 +196,8 @@ func Fig5(cfg Config) []Table {
 		for _, v := range fiveSchemes(nil) {
 			row := []string{v.name}
 			for _, users := range userCounts {
-				row = append(row, fmt.Sprintf("%.1f", Fig5Point(v.opt, k.kind, users, total)))
+				res := get(Cell{Kind: CellFig5, Opt: v.opt, Fig5: k.kind, Users: users, TotalFiles: total})
+				row = append(row, fmt.Sprintf("%.1f", res.Throughput))
 			}
 			t.AddRow(row...)
 		}
@@ -198,7 +209,7 @@ func Fig5(cfg Config) []Table {
 		out = append(out, t)
 	}
 	return out
-}
+}}
 
 // Fig5Point runs one figure 5 data point and returns files per virtual
 // second.
@@ -264,7 +275,7 @@ func Fig5Point(opt fsim.Options, kind Fig5Kind, users, totalFiles int) float64 {
 
 // Fig6 reproduces figure 6: Sdet throughput (scripts/hour) as a function of
 // script concurrency for the five schemes.
-func Fig6(cfg Config) Table {
+var Fig6 = &Exhibit{Name: "fig6", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	userCounts := []int{1, 2, 4, 6, 8}
 	t := Table{
 		Title: "Figure 6: Sdet throughput (scripts/hour)",
@@ -274,28 +285,12 @@ func Fig6(cfg Config) Table {
 	for _, u := range userCounts {
 		t.Columns = append(t.Columns, fmt.Sprintf("%d script(s)", u))
 	}
-	sdet := workload.DefaultSdet()
-	sdet.CommandsPerScript = cfg.Scale.files(sdet.CommandsPerScript)
+	commands := cfg.Scale.files(workload.DefaultSdet().CommandsPerScript)
 	for _, v := range fiveSchemes(nil) {
 		row := []string{v.name}
 		for _, users := range userCounts {
-			sys := mustSystem(v.opt)
-			var bin fsim.Ino
-			sys.Run(func(p *fsim.Proc) {
-				var err error
-				bin, err = sdet.SetupBinaries(p, sys.FS, fsim.RootIno)
-				if err != nil {
-					panic(err)
-				}
-			})
-			sys.Cache.DropClean() // scripts start against a cold cache
-			_, wall := sys.RunUsers(users, func(p *fsim.Proc, u int) {
-				if err := sdet.RunScript(p, sys.FS, fsim.RootIno, bin, u); err != nil {
-					panic(err)
-				}
-			})
-			sys.Shutdown()
-			row = append(row, fmt.Sprintf("%.1f", float64(users)*3600/wall.Seconds()))
+			res := get(Cell{Kind: CellSdet, Opt: v.opt, Users: users, Commands: commands})
+			row = append(row, fmt.Sprintf("%.1f", float64(users)*3600/res.SdetWall.Seconds()))
 		}
 		t.AddRow(row...)
 	}
@@ -304,5 +299,5 @@ func Fig6(cfg Config) Table {
 		xl[i] = fmt.Sprintf("%d", u)
 	}
 	t.Chart = lineChartOf("figure 6 — chart", "scripts/hour vs concurrency", &t, xl)
-	return t
-}
+	return []Table{t}
+}}

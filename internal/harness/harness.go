@@ -19,13 +19,14 @@ import (
 )
 
 // Table is a printable experiment result. Figures additionally carry an
-// ASCII chart rendering of the same data.
+// ASCII chart rendering of the same data. The data fields serialize for
+// mdsim -json; the chart is a text-rendering concern and is omitted.
 type Table struct {
-	Title   string
-	Note    string
-	Columns []string
-	Rows    [][]string
-	Chart   func(w io.Writer)
+	Title   string            `json:"title"`
+	Note    string            `json:"note,omitempty"`
+	Columns []string          `json:"columns"`
+	Rows    [][]string        `json:"rows"`
+	Chart   func(w io.Writer) `json:"-"`
 }
 
 // AddRow appends a formatted row.
@@ -87,6 +88,10 @@ type Config struct {
 	// Users overrides the default user counts where applicable (nil = paper).
 	Verbose bool
 	Out     io.Writer
+	// Runner executes the experiment cells. Nil means each exhibit gets a
+	// private GOMAXPROCS-wide runner; share one Runner across exhibits to
+	// let common cells simulate once per process (mdsim does).
+	Runner *Runner
 }
 
 // DefaultConfig runs paper-sized experiments.

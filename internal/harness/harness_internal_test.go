@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"testing"
+
+	"metaupdate/internal/sim"
+)
+
+// mean must tolerate an empty sample set: RunUsers with zero users (or a
+// future workload that records no per-user times) hands it an empty slice,
+// and a divide-by-zero panic here would take down a whole exhibit.
+func TestMeanEmptySlice(t *testing.T) {
+	if got := mean(nil); got != 0 {
+		t.Fatalf("mean(nil) = %v, want 0", got)
+	}
+	if got := mean([]sim.Duration{}); got != 0 {
+		t.Fatalf("mean(empty) = %v, want 0", got)
+	}
+	if got := mean([]sim.Duration{2 * sim.Second, 4 * sim.Second}); got != 3*sim.Second {
+		t.Fatalf("mean(2s,4s) = %v, want 3s", got)
+	}
+}
+
+// Fingerprints must separate every cell parameter that changes simulation
+// results; a collision would silently serve one configuration's numbers as
+// another's.
+func TestFingerprintsDistinct(t *testing.T) {
+	cells := []Cell{
+		{Kind: CellCopy, Users: 4, Scale: 0.1},
+		{Kind: CellCopy, Users: 4, Scale: 0.1, Remove: true},
+		{Kind: CellCopy, Users: 1, Scale: 0.1},
+		{Kind: CellCopy, Users: 4, Scale: 0.2},
+		{Kind: CellFig5, Users: 4, TotalFiles: 100},
+		{Kind: CellFig5, Users: 4, TotalFiles: 100, Fig5: Fig5Removes},
+		{Kind: CellSdet, Users: 4, Commands: 10},
+		{Kind: CellAndrew},
+	}
+	seen := make(map[string]int)
+	for i, c := range cells {
+		fp := c.Fingerprint()
+		if j, dup := seen[fp]; dup {
+			t.Fatalf("cells %d and %d share fingerprint %q", i, j, fp)
+		}
+		seen[fp] = i
+	}
+	a := Cell{Kind: CellCopy, Users: 4, Scale: 0.1}
+	if a.Fingerprint() != (Cell{Kind: CellCopy, Users: 4, Scale: 0.1}).Fingerprint() {
+		t.Fatal("equal cells produced different fingerprints")
+	}
+}

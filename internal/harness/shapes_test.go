@@ -36,7 +36,7 @@ func TestShapeTable2Remove(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	tb := harness.Table2(harness.Config{Scale: 0.15})
+	tb := harness.Table2.Tables(harness.Config{Scale: 0.15})[0]
 	conv := cell(t, tb, rowOf(t, tb, "Conventional"), 1)
 	su := cell(t, tb, rowOf(t, tb, "Soft Updates"), 1)
 	no := cell(t, tb, rowOf(t, tb, "No Order"), 1)
@@ -68,7 +68,7 @@ func TestShapeTable1Copy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	tb := harness.Table1(harness.Config{Scale: 0.15})
+	tb := harness.Table1.Tables(harness.Config{Scale: 0.15})[0]
 	// Soft Updates within ~10% of No Order (paper: within 5%; allow slack
 	// at reduced scale).
 	suPct := cell(t, tb, rowOf2(t, tb, "Soft Updates", "N"), 3)

@@ -4,14 +4,12 @@ import (
 	"fmt"
 
 	"metaupdate/fsim"
-	"metaupdate/internal/sim"
-	"metaupdate/internal/workload"
 )
 
 // Table1 reproduces the paper's table 1: scheme comparison under the
 // 4-user copy benchmark, with and without allocation initialization
 // (No Order only without, as in the paper).
-func Table1(cfg Config) Table {
+var Table1 = &Exhibit{Name: "table1", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	t := Table{
 		Title: "Table 1: scheme comparison, 4-user copy",
 		Note: "paper shape: NoOrder fastest; SoftUpdates within a few % of NoOrder; alloc-init cost\n" +
@@ -32,14 +30,12 @@ func Table1(cfg Config) Table {
 	}
 	specs = append(specs, rowSpec{schemeVariant(fsim.NoOrder, false), false})
 
-	// Baseline first so percentages can be computed.
-	var baseline sim.Duration
 	results := make([]copyStats, len(specs))
-	for i := len(specs) - 1; i >= 0; i-- {
-		cp, _ := copyBench(specs[i].v.opt, 4, cfg.Scale, false)
-		results[i] = cp
-		if specs[i].v.opt.Scheme == fsim.NoOrder {
-			baseline = cp.elapsed
+	var baseline fsim.Duration
+	for i, spec := range specs {
+		results[i] = get(copyCell(spec.v.opt, 4, cfg.Scale)).Copy
+		if spec.v.opt.Scheme == fsim.NoOrder {
+			baseline = results[i].elapsed
 		}
 	}
 	for i, spec := range specs {
@@ -52,8 +48,8 @@ func Table1(cfg Config) Table {
 			secs(cp.stats.CPUTime), fmt.Sprintf("%d", cp.stats.DiskRequests),
 			fmt.Sprintf("%.1f", cp.stats.AvgResponseMS))
 	}
-	return t
-}
+	return []Table{t}
+}}
 
 // schemeVariant builds a section 5 configuration with explicit alloc-init.
 func schemeVariant(s fsim.Scheme, allocInit bool) variant {
@@ -69,7 +65,7 @@ func schemeVariant(s fsim.Scheme, allocInit bool) variant {
 
 // Table2 reproduces table 2: scheme comparison under the 4-user remove
 // benchmark (allocation initialization per the section 5 defaults).
-func Table2(cfg Config) Table {
+var Table2 = &Exhibit{Name: "table2", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	t := Table{
 		Title: "Table 2: scheme comparison, 4-user remove",
 		Note: "paper shape: Conventional ~10x NoOrder; SoftUpdates *faster* than NoOrder (deferred\n" +
@@ -77,14 +73,13 @@ func Table2(cfg Config) Table {
 		Columns: []string{"Scheme", "Elapsed (s)", "% of NoOrder", "CPU (s)",
 			"Disk requests", "Avg response (ms)"},
 	}
-	var baseline sim.Duration
 	variants := fiveSchemes(nil)
 	results := make([]copyStats, len(variants))
-	for i := len(variants) - 1; i >= 0; i-- {
-		_, rm := copyBench(variants[i].opt, 4, cfg.Scale, true)
-		results[i] = rm
-		if variants[i].opt.Scheme == fsim.NoOrder {
-			baseline = rm.elapsed
+	var baseline fsim.Duration
+	for i, v := range variants {
+		results[i] = get(copyRemoveCell(v.opt, 4, cfg.Scale)).RemoveRes
+		if v.opt.Scheme == fsim.NoOrder {
+			baseline = results[i].elapsed
 		}
 	}
 	for i, v := range variants {
@@ -93,12 +88,12 @@ func Table2(cfg Config) Table {
 			secs2(rm.stats.CPUTime), fmt.Sprintf("%d", rm.stats.DiskRequests),
 			fmt.Sprintf("%.1f", rm.stats.AvgResponseMS))
 	}
-	return t
-}
+	return []Table{t}
+}}
 
 // Table3 reproduces table 3: the Andrew benchmark's five phases under each
 // scheme.
-func Table3(cfg Config) Table {
+var Table3 = &Exhibit{Name: "table3", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	t := Table{
 		Title: "Table 3: Andrew benchmark (seconds per phase)",
 		Note: "paper shape: phases 1-2 favor the non-conventional schemes; phases 3-4 are\n" +
@@ -106,28 +101,18 @@ func Table3(cfg Config) Table {
 		Columns: []string{"Scheme", "(1) MakeDir", "(2) Copy", "(3) ScanDir",
 			"(4) ReadAll", "(5) Compile", "Total"},
 	}
-	andrew := workload.DefaultAndrew()
 	for _, v := range fiveSchemes(nil) {
-		sys := mustSystem(v.opt)
-		var times workload.AndrewTimes
-		sys.Run(func(p *fsim.Proc) {
-			var err error
-			times, err = andrew.Run(p, sys.FS, fsim.RootIno)
-			if err != nil {
-				panic(err)
-			}
-		})
-		sys.Shutdown()
+		times := get(Cell{Kind: CellAndrew, Opt: v.opt}).Andrew
 		t.AddRow(v.name, secs2(times.MakeDir), secs2(times.Copy), secs2(times.ScanDir),
 			secs2(times.ReadAll), secs(times.Compile), secs(times.Total()))
 	}
-	return t
-}
+	return []Table{t}
+}}
 
 // ChainsAblation reproduces the section 3.2 comparison: the barrier
 // fallback vs. tracked remove-dependencies for scheduler chains on the
 // 4-user remove benchmark (the paper reports ~16% in favor of tracking).
-func ChainsAblation(cfg Config) Table {
+var ChainsAblation = &Exhibit{Name: "chains-ablation", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	t := Table{
 		Title:   "Section 3.2 ablation: chains de-allocation handling, 4-user remove",
 		Note:    "paper: the specific-dependency approach beats the barrier fallback by ~16%",
@@ -137,16 +122,16 @@ func ChainsAblation(cfg Config) Table {
 		{"Barrier fallback", fsim.Options{Scheme: fsim.SchedulerChains, Explicit: true, CB: true, BarrierFrees: true}},
 		{"Tracked dependencies", fsim.Options{Scheme: fsim.SchedulerChains, Explicit: true, CB: true}},
 	} {
-		_, rm := copyBench(v.opt, 4, cfg.Scale, true)
+		rm := get(copyRemoveCell(v.opt, 4, cfg.Scale)).RemoveRes
 		t.AddRow(v.name, secs2(rm.elapsed), fmt.Sprintf("%.0f", rm.stats.AvgResponseMS),
 			fmt.Sprintf("%d", rm.stats.DiskRequests))
 	}
-	return t
-}
+	return []Table{t}
+}}
 
 // CBAblation reproduces the section 3.3 note that block copying helps
 // scheduler chains as well (26% on 4-user copy, 57% on 4-user remove).
-func CBAblation(cfg Config) Table {
+var CBAblation = &Exhibit{Name: "cb-ablation", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	t := Table{
 		Title:   "Section 3.3 ablation: scheduler chains with and without block copying",
 		Note:    "paper: -CB reduces chains elapsed time by 26% (copy) and 57% (remove)",
@@ -156,16 +141,16 @@ func CBAblation(cfg Config) Table {
 		{"Chains", fsim.Options{Scheme: fsim.SchedulerChains, Explicit: true}},
 		{"Chains-CB", fsim.Options{Scheme: fsim.SchedulerChains, Explicit: true, CB: true}},
 	} {
-		cp, rm := copyBench(v.opt, 4, cfg.Scale, true)
-		t.AddRow(v.name, secs(cp.elapsed), secs2(rm.elapsed))
+		res := get(copyRemoveCell(v.opt, 4, cfg.Scale))
+		t.AddRow(v.name, secs(res.Copy.elapsed), secs2(res.RemoveRes.elapsed))
 	}
-	return t
-}
+	return []Table{t}
+}}
 
 // NVRAMComparison runs the section 7 forward-comparison the paper
 // proposes: soft updates vs. NVRAM-protected metadata vs. the No Order
 // bound, on the metadata-intensive copy+remove pair.
-func NVRAMComparison(cfg Config) Table {
+var NVRAMComparison = &Exhibit{Name: "nvram", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	t := Table{
 		Title: "Section 7 extension: soft updates vs NVRAM vs No Order",
 		Note: "paper's prediction: NVRAM gives slight improvements over soft updates (less syncer\n" +
@@ -178,19 +163,20 @@ func NVRAMComparison(cfg Config) Table {
 		{"NVRAM", fsim.Options{Scheme: fsim.NVRAM}},
 		{"No Order", fsim.Options{Scheme: fsim.NoOrder}},
 	} {
-		cp, rm := copyBench(v.opt, 4, cfg.Scale, true)
+		res := get(copyRemoveCell(v.opt, 4, cfg.Scale))
+		cp, rm := res.Copy, res.RemoveRes
 		t.AddRow(v.name, secs(cp.elapsed), secs2(rm.elapsed),
 			fmt.Sprintf("%d", cp.stats.DiskRequests+rm.stats.DiskRequests),
 			secs2(cp.stats.CPUTime+rm.stats.CPUTime))
 	}
-	return t
-}
+	return []Table{t}
+}}
 
 // CacheSweep is the DESIGN.md D-decision sensitivity study: how the
 // soft-updates-vs-conventional gap depends on buffer cache size (the
 // paper's machine had 44 MB usable; the gap narrows as the cache shrinks
 // and the workload becomes read-dominated for every scheme).
-func CacheSweep(cfg Config) Table {
+var CacheSweep = &Exhibit{Name: "cache-sweep", Build: func(cfg Config, get func(Cell) CellResult) []Table {
 	t := Table{
 		Title:   "Sensitivity: 4-user copy elapsed (s) vs buffer cache size",
 		Note:    "ablation for DESIGN.md; not a paper exhibit",
@@ -201,34 +187,49 @@ func CacheSweep(cfg Config) Table {
 		row := []string{s.String()}
 		for _, cb := range sizes {
 			opt := fsim.Options{Scheme: s, CacheBytes: cb}
-			cp, _ := copyBench(opt, 4, cfg.Scale, false)
+			cp := get(copyCell(opt, 4, cfg.Scale)).Copy
 			row = append(row, secs(cp.elapsed))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return []Table{t}
+}}
+
+// Exhibits lists every exhibit in presentation order. mdsim shares one
+// Runner across all of them so cells common to several exhibits (e.g. the
+// Part-NR/CB 4-user copy of figures 1 and 3 and table 1) simulate once.
+var Exhibits = []*Exhibit{
+	Fig1, Fig2, Fig3, Fig4, Fig5, Fig6,
+	Table1, Table2, Table3, ChainsAblation, CBAblation, NVRAMComparison,
+	CacheSweep,
 }
 
-// Experiments maps experiment names to runners producing tables.
-var Experiments = map[string]func(cfg Config) []Table{
-	"fig1":            func(c Config) []Table { return []Table{Fig1(c)} },
-	"fig2":            func(c Config) []Table { return []Table{Fig2(c)} },
-	"fig3":            func(c Config) []Table { return []Table{Fig3(c)} },
-	"fig4":            func(c Config) []Table { return []Table{Fig4(c)} },
-	"fig5":            Fig5,
-	"fig6":            func(c Config) []Table { return []Table{Fig6(c)} },
-	"table1":          func(c Config) []Table { return []Table{Table1(c)} },
-	"table2":          func(c Config) []Table { return []Table{Table2(c)} },
-	"table3":          func(c Config) []Table { return []Table{Table3(c)} },
-	"chains-ablation": func(c Config) []Table { return []Table{ChainsAblation(c)} },
-	"cb-ablation":     func(c Config) []Table { return []Table{CBAblation(c)} },
-	"nvram":           func(c Config) []Table { return []Table{NVRAMComparison(c)} },
-	"cache-sweep":     func(c Config) []Table { return []Table{CacheSweep(c)} },
-}
+// ExhibitByName indexes Exhibits.
+var ExhibitByName = func() map[string]*Exhibit {
+	m := make(map[string]*Exhibit, len(Exhibits))
+	for _, e := range Exhibits {
+		m[e.Name] = e
+	}
+	return m
+}()
+
+// Experiments maps experiment names to runners producing tables (the
+// pre-cell interface, kept for tests and benchmarks; each call resolves
+// through cfg.Runner or a private one).
+var Experiments = func() map[string]func(cfg Config) []Table {
+	m := make(map[string]func(cfg Config) []Table, len(Exhibits))
+	for _, e := range Exhibits {
+		e := e
+		m[e.Name] = func(cfg Config) []Table { return e.Tables(cfg) }
+	}
+	return m
+}()
 
 // ExperimentNames lists the experiments in presentation order.
-var ExperimentNames = []string{
-	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-	"table1", "table2", "table3", "chains-ablation", "cb-ablation", "nvram",
-	"cache-sweep",
-}
+var ExperimentNames = func() []string {
+	names := make([]string, len(Exhibits))
+	for i, e := range Exhibits {
+		names[i] = e.Name
+	}
+	return names
+}()

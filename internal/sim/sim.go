@@ -71,12 +71,13 @@ func (h *eventHeap) Pop() interface{} {
 // machinery that hands control between the engine goroutine and process
 // goroutines.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	yield  chan yieldMsg
-	live   int  // live (spawned, not finished) processes
-	halted bool // set once Run/RunUntil stops delivering events
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan yieldMsg
+	live    int  // live (spawned, not finished) processes
+	halted  bool // set once Run/RunUntil stops delivering events
+	procIDs int  // per-engine Proc.ID source; engines must not share state
 }
 
 // Live reports the number of spawned processes that have not finished.
@@ -118,14 +119,17 @@ type Proc struct {
 	resume chan struct{}
 }
 
-var procIDs int
-
 // Spawn starts a new simulated process executing fn. The process begins
 // running at the current virtual time (as a scheduled event), so Spawn can
 // be called before Run or from inside another process or callback.
+//
+// Proc IDs are allocated per engine, not per process-wide counter: many
+// independent engines run concurrently under the harness experiment
+// runner, and any package-level mutable state here would be both a data
+// race and a determinism leak between simulations.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	procIDs++
-	p := &Proc{eng: e, Name: name, ID: procIDs, resume: make(chan struct{})}
+	e.procIDs++
+	p := &Proc{eng: e, Name: name, ID: e.procIDs, resume: make(chan struct{})}
 	e.live++
 	go func() {
 		<-p.resume // wait for the engine to run our start event
