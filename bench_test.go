@@ -37,6 +37,7 @@ func runExperiment(b *testing.B, name string, col int) {
 	if run == nil {
 		b.Fatalf("unknown experiment %q", name)
 	}
+	b.ReportAllocs()
 	var tables []harness.Table
 	for i := 0; i < b.N; i++ {
 		cfg := harness.Config{Scale: benchScale, Runner: harness.NewRunner(0)}
@@ -83,6 +84,7 @@ func BenchmarkFig5Throughput(b *testing.B) {
 	for _, k := range kinds {
 		for _, scheme := range fsim.Schemes {
 			b.Run(fmt.Sprintf("%s/%s", k.name, scheme), func(b *testing.B) {
+				b.ReportAllocs()
 				var tput float64
 				for i := 0; i < b.N; i++ {
 					tput = harness.Fig5Point(fsim.Options{Scheme: scheme}, k.kind, 4, total)
@@ -93,12 +95,26 @@ func BenchmarkFig5Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5Cell is the hot-path probe: one simulation cell (Soft
+// Updates creates at 4 users), no runner, no memoization — the unit of
+// work the zero-allocation hot path optimizes. Compare allocs/op across
+// commits to catch per-cell allocation regressions.
+func BenchmarkFig5Cell(b *testing.B) {
+	b.ReportAllocs()
+	var tput float64
+	for i := 0; i < b.N; i++ {
+		tput = harness.Fig5Point(fsim.Options{Scheme: fsim.SoftUpdates}, harness.Fig5Creates, 4, 1000)
+	}
+	b.ReportMetric(tput, "files/vsec")
+}
+
 // Figure 6: Sdet scripts/hour at 4 concurrent scripts per scheme.
 func BenchmarkFig6Sdet(b *testing.B) {
 	sdet := workload.DefaultSdet()
 	sdet.CommandsPerScript = 40
 	for _, scheme := range fsim.Schemes {
 		b.Run(scheme.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var rate float64
 			for i := 0; i < b.N; i++ {
 				sys, err := fsim.New(fsim.Options{Scheme: scheme})
@@ -137,6 +153,7 @@ func BenchmarkTable2RemoveComparison(b *testing.B) { runExperiment(b, "table2", 
 func BenchmarkTable3Andrew(b *testing.B) {
 	for _, scheme := range fsim.Schemes {
 		b.Run(scheme.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var total fsim.Duration
 			for i := 0; i < b.N; i++ {
 				sys, err := fsim.New(fsim.Options{Scheme: scheme})

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,7 +41,44 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram)")
 	csvPath := flag.String("csv", "", "with -trace: also write the raw per-request trace as CSV to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "[wrote CPU profile to %s]\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			// The allocs profile carries cumulative allocation counts —
+			// the numerator of the allocs/op figures in BENCH_2.json.
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[wrote allocation profile to %s]\n", path)
+		}()
+	}
 
 	if *traceScheme != "" {
 		if err := runTrace(*traceScheme, harness.Scale(*scale), *csvPath); err != nil {

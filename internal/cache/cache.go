@@ -162,6 +162,10 @@ type Cache struct {
 	// -CB snapshot pool accounting.
 	copyOutstanding int
 	copyWait        *sim.Completion
+	// snapFree recycles -CB snapshot buffers by size class (fragments per
+	// buffer); per-cache and LIFO, so reuse is deterministic. Snapshots are
+	// fully overwritten on reuse, so no stale bytes can escape.
+	snapFree [9][][]byte
 
 	// Stats.
 	Hits, Misses int64
@@ -245,14 +249,18 @@ func (c *Cache) Bread(p *sim.Proc, frag int64, nfrags int) *Buf {
 	c.bufs[frag] = b
 	c.bytes += len(b.Data)
 	c.makeRoom(p, b)
-	req := c.drv.Submit(&dev.Request{
-		Op:    disk.Read,
-		LBN:   lbnOf(frag),
-		Count: nfrags * SectorsPerFrag,
-		Buf:   b.Data,
-	})
+	// Read requests are owned by this function end to end (submitted,
+	// waited on inline, no callbacks registered), so they cycle through
+	// the driver's pool instead of allocating per miss.
+	req := c.drv.AllocRequest()
+	req.Op = disk.Read
+	req.LBN = lbnOf(frag)
+	req.Count = nfrags * SectorsPerFrag
+	req.Buf = b.Data
+	c.drv.Submit(req)
 	c.ReadsIssued++
 	req.Done.Wait(p)
+	c.drv.Release(req)
 	r := b.reading
 	b.reading = nil
 	r.Fire(c.eng)
@@ -349,6 +357,7 @@ func (c *Cache) issueWrite(p *sim.Proc, b *Buf) *dev.Request {
 	var src []byte
 	var done *sim.Completion
 	var copyCost sim.Duration
+	var cbSnap []byte // pooled -CB snapshot to recycle at completion
 	if c.cfg.CB {
 		// Bounded snapshot pool: block until there is room (a process
 		// context is required to block; engine-context issuers skip the
@@ -366,7 +375,9 @@ func (c *Cache) issueWrite(p *sim.Proc, b *Buf) *dev.Request {
 		// yielding the virtual CPU, so concurrent issuers cannot invert
 		// snapshot order vs. submission order; the memcpy cost is charged
 		// right after.
-		src = append([]byte(nil), b.Data...)
+		src = c.getSnapshot(b.NFrags())
+		copy(src, b.Data)
+		cbSnap = src
 		c.copyOutstanding += len(src)
 		b.cbInflight++
 		copyCost = c.cfg.CopyCPU * sim.Duration(b.NFrags()) / 8
@@ -380,6 +391,13 @@ func (c *Cache) issueWrite(p *sim.Proc, b *Buf) *dev.Request {
 		// The live buffer stays write-locked until completion so at most
 		// one rollback snapshot per buffer is in flight — updates still
 		// wait, as with in-place undo, but readers never see undone bytes.
+		if cbSnap != nil {
+			// The -CB snapshot never reaches the disk; recycle it now.
+			// (copyOutstanding still accounts len(src) == len(repl) until
+			// completion, matching the kernel-memory model.)
+			c.putSnapshot(cbSnap)
+			cbSnap = nil
+		}
 		src = repl
 		copyCost += c.cfg.CopyCPU * sim.Duration(b.NFrags()) / 8
 	}
@@ -405,6 +423,11 @@ func (c *Cache) issueWrite(p *sim.Proc, b *Buf) *dev.Request {
 		if snapshotLen > 0 {
 			c.copyOutstanding -= snapshotLen
 			b.cbInflight--
+			if cbSnap != nil {
+				// Data is on the media (and the crash recorder took its
+				// own copy at submission), so the snapshot is dead.
+				c.putSnapshot(cbSnap)
+			}
 			if c.copyWait != nil {
 				w := c.copyWait
 				c.copyWait = nil
@@ -423,6 +446,29 @@ func (c *Cache) issueWrite(p *sim.Proc, b *Buf) *dev.Request {
 		}
 	})
 	return req
+}
+
+// getSnapshot returns a len == nfrags*FragSize buffer for a -CB write
+// snapshot, reusing a retired one of the same size class when available.
+// Callers overwrite the full buffer, so recycled contents never leak.
+func (c *Cache) getSnapshot(nfrags int) []byte {
+	if nfrags >= 1 && nfrags < len(c.snapFree) {
+		if list := c.snapFree[nfrags]; len(list) > 0 {
+			s := list[len(list)-1]
+			list[len(list)-1] = nil
+			c.snapFree[nfrags] = list[:len(list)-1]
+			return s
+		}
+	}
+	return make([]byte, nfrags*FragSize)
+}
+
+// putSnapshot retires a snapshot buffer to its size-class free list.
+func (c *Cache) putSnapshot(s []byte) {
+	nfrags := len(s) / FragSize
+	if nfrags >= 1 && nfrags < len(c.snapFree) && len(s) == nfrags*FragSize {
+		c.snapFree[nfrags] = append(c.snapFree[nfrags], s)
+	}
 }
 
 // Resize grows or shrinks b to nfrags fragments in place (fragment

@@ -18,9 +18,12 @@
 //     partial-sector prefix (writes are sector-atomic, the paper's stated
 //     assumption).
 //
-// Images are materialized from a base snapshot plus write deltas,
-// deduplicated by content hash, and verified with fsck.Check (plus,
-// optionally, fsck.ContentViolations) on a pool of worker goroutines.
+// Crash states are deduplicated up front by an incrementally-maintained
+// per-sector content signature, then handed to a worker pool as
+// copy-on-write overlays (the instant's committed snapshot plus a
+// per-sector delta map) and verified through fsck.CheckImage (plus,
+// optionally, fsck.ContentViolationsImage) without ever materializing a
+// full image per candidate.
 // Real goroutine parallelism is safe here because image checking happens
 // entirely outside the deterministic simulation. Any violating image can
 // be shrunk to a minimal repro: the smallest dependency-closed write

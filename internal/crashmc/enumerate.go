@@ -107,7 +107,7 @@ func (r *Recorder) Explore(cfg Config) *Result {
 			x.doneXor ^= mix(s, h)
 		}
 	}
-	pool := newCheckerPool(cfg, len(r.base))
+	pool := newCheckerPool(cfg)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -164,7 +164,7 @@ func (r *Recorder) Explore(cfg Config) *Result {
 			Writes:    r.writes,
 			Instants:  x.instant + 1,
 			Explored:  x.explored,
-			Deduped:   x.preDeduped + pool.deduped.Load(),
+			Deduped:   x.preDeduped,
 			Checked:   pool.checked.Load(),
 			Violating: pool.violating.Load(),
 		},
@@ -384,16 +384,15 @@ func (x *explorer) emitInstant() {
 	dfs(0)
 }
 
-// checkerPool holds the state shared by the image-checking workers.
+// checkerPool holds the state shared by the image-checking workers. The
+// explorer's XOR signature already deduplicates by image content (every
+// emitted job is a distinct image modulo 64-bit collisions — the same bet
+// the old full-image hash made), so the pool just checks what it is
+// handed: each worker assembles the job as a copy-on-write overlay and
+// runs fsck through it, never materializing the image.
 type checkerPool struct {
-	cfg      Config
-	imgBytes int
-	seed     maphash.Seed
+	cfg Config
 
-	mu   sync.Mutex
-	seen map[uint64]struct{}
-
-	deduped   atomic.Int64
 	checked   atomic.Int64
 	violating atomic.Int64
 
@@ -401,36 +400,15 @@ type checkerPool struct {
 	violations []Violation
 }
 
-func newCheckerPool(cfg Config, imgBytes int) *checkerPool {
-	return &checkerPool{
-		cfg:      cfg,
-		imgBytes: imgBytes,
-		seed:     maphash.MakeSeed(),
-		seen:     make(map[uint64]struct{}),
-	}
+func newCheckerPool(cfg Config) *checkerPool {
+	return &checkerPool{cfg: cfg}
 }
 
 func (cp *checkerPool) run(jobs <-chan job) {
-	scratch := make([]byte, cp.imgBytes)
+	ov := &overlay{delta: make(map[int64][]byte)}
 	for j := range jobs {
-		copy(scratch, j.img)
-		for _, n := range j.subset {
-			n.apply(scratch)
-		}
-		if j.partial != nil {
-			j.partial.applyPrefix(scratch, j.psec)
-		}
-		h := maphash.Bytes(cp.seed, scratch)
-		cp.mu.Lock()
-		if _, dup := cp.seen[h]; dup {
-			cp.mu.Unlock()
-			cp.deduped.Add(1)
-			continue
-		}
-		cp.seen[h] = struct{}{}
-		cp.mu.Unlock()
-
-		findings := checkImage(scratch, cp.cfg.CheckContent)
+		ov.load(&j)
+		findings := checkImage(ov, cp.cfg.CheckContent)
 		cp.checked.Add(1)
 		if len(findings) == 0 {
 			continue
@@ -480,21 +458,21 @@ func (cp *checkerPool) takeViolations() []Violation {
 	return cp.violations
 }
 
-// checkImage runs the fsck oracle over one image and returns the rule
-// violations as strings. A panic inside fsck (a corrupted superblock
-// leading it somewhere unmapped) is itself reported as a violation rather
-// than killing the sweep.
-func checkImage(img []byte, content bool) (findings []string) {
+// checkImage runs the fsck oracle over one image — materialized or
+// overlay — and returns the rule violations as strings. A panic inside
+// fsck (a corrupted superblock leading it somewhere unmapped) is itself
+// reported as a violation rather than killing the sweep.
+func checkImage(img fsck.Image, content bool) (findings []string) {
 	defer func() {
 		if p := recover(); p != nil {
 			findings = append(findings, fmt.Sprintf("fsck panicked on image: %v", p))
 		}
 	}()
-	for _, f := range fsck.Check(img).Violations() {
+	for _, f := range fsck.CheckImage(img).Violations() {
 		findings = append(findings, f.String())
 	}
 	if content {
-		for _, f := range fsck.ContentViolations(img) {
+		for _, f := range fsck.ContentViolationsImage(img) {
 			findings = append(findings, f.String())
 		}
 	}

@@ -1,0 +1,91 @@
+package crashmc
+
+import (
+	"metaupdate/internal/disk"
+)
+
+// overlay is a copy-on-write crash image: the instant's shared committed
+// snapshot plus a per-sector delta map holding the contents the
+// hypothesized-durable writes would have left on the media. It implements
+// fsck.Image, so a checker worker pays per candidate for the candidate's
+// delta — not for a media-sized copy, which dominated the pool's cost when
+// images were materialized per job.
+//
+// Delta entries alias the recorder's write-source snapshots; nothing here
+// is ever written, satisfying fsck.Image's read-only contract.
+type overlay struct {
+	base  []byte
+	delta map[int64][]byte // sector -> one-sector view of the newest writer
+
+	// scratch rotates the buffers backing dirty Range results.
+	// fsck.Image's contract promises the last four views stay valid.
+	scratch [4][]byte
+	next    int
+}
+
+// load points the overlay at a job's crash state. The delta is rebuilt in
+// apply order — subset in submission order, then the partial's prefix — so
+// overlapping writes resolve exactly as materializing them would.
+func (o *overlay) load(j *job) {
+	o.base = j.img
+	clear(o.delta)
+	for _, n := range j.subset {
+		for i := 0; i < n.count; i++ {
+			o.delta[n.lbn+int64(i)] = n.data[i*disk.SectorSize : (i+1)*disk.SectorSize]
+		}
+	}
+	if p := j.partial; p != nil {
+		for i := 0; i < j.psec; i++ {
+			o.delta[p.lbn+int64(i)] = p.data[i*disk.SectorSize : (i+1)*disk.SectorSize]
+		}
+	}
+}
+
+// Len implements fsck.Image.
+func (o *overlay) Len() int64 { return int64(len(o.base)) }
+
+// Range implements fsck.Image. Ranges free of dirty sectors alias the base
+// snapshot; ranges touching the delta are assembled in a rotating scratch
+// buffer.
+func (o *overlay) Range(off, n int64) []byte {
+	if n <= 0 {
+		return nil
+	}
+	lo := off / disk.SectorSize
+	hi := (off + n - 1) / disk.SectorSize
+	dirty := false
+	for s := lo; s <= hi; s++ {
+		if _, ok := o.delta[s]; ok {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return o.base[off : off+n]
+	}
+	buf := o.grab(int(n))
+	copy(buf, o.base[off:off+n])
+	for s := lo; s <= hi; s++ {
+		d, ok := o.delta[s]
+		if !ok {
+			continue
+		}
+		// Intersect the sector with [off, off+n); copy bounds the tail.
+		src, dst := int64(0), s*disk.SectorSize-off
+		if dst < 0 {
+			src, dst = -dst, 0
+		}
+		copy(buf[dst:], d[src:])
+	}
+	return buf
+}
+
+func (o *overlay) grab(n int) []byte {
+	i := o.next
+	o.next = (o.next + 1) % len(o.scratch)
+	if cap(o.scratch[i]) < n {
+		o.scratch[i] = make([]byte, n)
+	}
+	o.scratch[i] = o.scratch[i][:n]
+	return o.scratch[i]
+}

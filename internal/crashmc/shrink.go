@@ -1,5 +1,7 @@
 package crashmc
 
+import "metaupdate/internal/fsck"
+
 // shrink reduces a violating crash state to a minimal repro: first a binary
 // search for the shortest completed-write prefix that still violates, then
 // greedy delta-debugging over the surviving writes, always removing a write
@@ -32,7 +34,7 @@ func (r *Recorder) shrink(v Violation, cfg Config, doneOrder []*node) *Repro {
 		}
 		trials++
 		materialize(writes, partial, psec)
-		return len(checkImage(img, cfg.CheckContent)) > 0
+		return len(checkImage(fsck.Bytes(img), cfg.CheckContent)) > 0
 	}
 
 	subset := make([]*node, 0, len(v.Applied))
@@ -137,7 +139,7 @@ func (r *Recorder) shrink(v Violation, cfg Config, doneOrder []*node) *Repro {
 
 	// Re-materialize the final state for its findings.
 	materialize(writes, partial, psec)
-	rep := &Repro{Findings: checkImage(img, cfg.CheckContent), Trials: trials}
+	rep := &Repro{Findings: checkImage(fsck.Bytes(img), cfg.CheckContent), Trials: trials}
 	for _, n := range writes {
 		rep.Writes = append(rep.Writes, WriteInfo{ID: n.id, LBN: n.lbn, Sectors: n.count})
 	}

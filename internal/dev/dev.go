@@ -101,9 +101,15 @@ type Request struct {
 
 	Done *sim.Completion
 
-	// Barrier bookkeeping: IDs of pending requests that must complete
-	// before this one may be dispatched.
-	waitingOn map[uint64]struct{}
+	// Barrier bookkeeping. Instead of each request carrying the ID set it
+	// waits on (a map per request, deleted from on every completion — the
+	// old representation dominated whole-run profiles), each pending
+	// request keeps the list of successors it blocks, and successors keep
+	// only the count of outstanding predecessors. Exactly one edge exists
+	// per (predecessor, successor) pair, so completion is a plain counter
+	// decrement per edge.
+	nwait  int        // outstanding predecessors; dispatchable at zero
+	blocks []*Request // successors to unblock when this request completes
 
 	enqueueAt  sim.Time
 	dispatchAt sim.Time
@@ -173,7 +179,10 @@ type Driver struct {
 	queue    []*Request // submitted, not dispatched, in submission order
 	inflight []*Request // dispatched batch, in LBN order
 	pending  map[uint64]*Request
-	blocking map[uint64][]*Request // pending ID -> requests waiting on it
+
+	free        []*Request         // LIFO request pool (see AllocRequest/Release)
+	concatIdx   map[int64]*Request // reusable LBN index for concat
+	predScratch []uint64           // reusable observer pred-ID buffer
 
 	lastFlagID uint64 // most recent flagged request ever submitted (ModeFlag)
 	headLBN    int64  // C-LOOK position: sector after the last dispatch
@@ -200,12 +209,41 @@ func New(eng *sim.Engine, dsk *disk.Disk, cfg Config) *Driver {
 		cfg.MaxConcat = DefaultMaxConcat
 	}
 	return &Driver{
-		eng:      eng,
-		dsk:      dsk,
-		cfg:      cfg,
-		pending:  make(map[uint64]*Request),
-		blocking: make(map[uint64][]*Request),
+		eng:       eng,
+		dsk:       dsk,
+		cfg:       cfg,
+		pending:   make(map[uint64]*Request),
+		concatIdx: make(map[int64]*Request),
 	}
+}
+
+// AllocRequest returns a blank Request, reusing one from the driver's pool
+// when available. The pool is per-driver (so per-System) and LIFO, which
+// keeps reuse deterministic. Callers fill in the request and Submit it as
+// usual; pooling is optional — a plain &Request{} behaves identically.
+func (d *Driver) AllocRequest() *Request {
+	if n := len(d.free); n > 0 {
+		r := d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// Release returns a completed request to the pool for a later AllocRequest.
+// The caller must be the request's sole owner: Done must have fired and
+// nothing else may retain the pointer (the buffer cache uses this for read
+// requests, which it owns from Submit through completion). The request's
+// Done completion and successor list keep their storage across reuse.
+func (d *Driver) Release(r *Request) {
+	if r.Done == nil || !r.Done.Fired() {
+		panic("dev: Release of incomplete request")
+	}
+	done := r.Done
+	done.Reset()
+	*r = Request{Done: done, blocks: r.blocks[:0]}
+	d.free = append(d.free, r)
 }
 
 // Config returns the driver configuration.
@@ -219,7 +257,8 @@ func (d *Driver) Config() Config { return d.cfg }
 // engine context and must not block or re-enter the driver.
 type Observer interface {
 	// RequestSubmitted fires after r's barrier is computed. preds is the
-	// sorted set of pending request IDs that must complete before r; for
+	// sorted set of pending request IDs that must complete before r; the
+	// slice is a scratch buffer valid only during the callback. For
 	// writes, r.Data is the exact write source (stable until completion).
 	RequestSubmitted(r *Request, preds []uint64)
 	// RequestsCompleted fires when a batch's data has been moved — writes
@@ -250,20 +289,17 @@ func (d *Driver) Submit(r *Request) *Request {
 	}
 	d.nextID++
 	r.ID = d.nextID
-	r.Done = sim.NewCompletion()
+	if r.Done == nil {
+		r.Done = sim.NewCompletion()
+	} else if r.Done.Fired() {
+		r.Done.Reset()
+	}
 	r.enqueueAt = d.eng.Now()
 
 	d.computeBarrier(r)
-	for id := range r.waitingOn {
-		d.blocking[id] = append(d.blocking[id], r)
-	}
 	if d.obs != nil {
-		preds := make([]uint64, 0, len(r.waitingOn))
-		for id := range r.waitingOn {
-			preds = append(preds, id)
-		}
-		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
-		d.obs.RequestSubmitted(r, preds)
+		sort.Slice(d.predScratch, func(i, j int) bool { return d.predScratch[i] < d.predScratch[j] })
+		d.obs.RequestSubmitted(r, d.predScratch)
 	}
 
 	d.queue = append(d.queue, r)
@@ -274,7 +310,7 @@ func (d *Driver) Submit(r *Request) *Request {
 	}
 	if r.Op == disk.Read {
 		d.DbgReadCount++
-		d.DbgReadBarrierSum += int64(len(r.waitingOn))
+		d.DbgReadBarrierSum += int64(r.nwait)
 	}
 	if len(d.queue) > d.Trace.MaxQueueLen {
 		d.Trace.MaxQueueLen = len(d.queue)
@@ -283,14 +319,79 @@ func (d *Driver) Submit(r *Request) *Request {
 	return r
 }
 
-// computeBarrier fills r.waitingOn from conflicts and the ordering mode.
-// It scans all pending requests (queue + inflight), which are exactly the
-// requests submitted before r that have not completed.
+// computeBarrier wires r into the barrier graph: for every pending request
+// q (queue + inflight — exactly the requests submitted before r that have
+// not completed) with predecessorOf(q, r), it appends r to q's successor
+// list and bumps r's outstanding-predecessor count. predScratch collects
+// the predecessor IDs for the observer (only when one is installed — the
+// sort is pure overhead otherwise).
 func (d *Driver) computeBarrier(r *Request) {
-	prior := make([]*Request, 0, len(d.inflight)+len(d.queue))
-	prior = append(prior, d.inflight...)
-	prior = append(prior, d.queue...)
-	r.waitingOn = Predecessors(d.cfg, r, prior, d.lastFlagID)
+	collect := d.obs != nil
+	d.predScratch = d.predScratch[:0]
+	add := func(q *Request) {
+		if predecessorOf(d.cfg, r, q, d.lastFlagID) {
+			q.blocks = append(q.blocks, r)
+			r.nwait++
+			if collect {
+				d.predScratch = append(d.predScratch, q.ID)
+			}
+		}
+	}
+	for _, q := range d.inflight {
+		add(q)
+	}
+	for _, q := range d.queue {
+		add(q)
+	}
+}
+
+// predecessorOf reports whether pending request q must complete before r
+// may be dispatched under cfg. It is evaluated once per (q, r) pair, so
+// the barrier graph has exactly one edge per ordered pair and completion
+// bookkeeping can be a plain counter decrement.
+func predecessorOf(cfg Config, r, q *Request, lastFlagID uint64) bool {
+	// Conflicts: overlapping ranges where at least one side writes never
+	// reorder, in every mode.
+	if r.overlaps(q) && (r.Op == disk.Write || q.Op == disk.Write) {
+		return true
+	}
+	switch cfg.Mode {
+	case ModeIgnore:
+		// Nothing further.
+	case ModeFlag:
+		if cfg.NR && r.Op == disk.Read {
+			return false // reads bypass ordering, conflicts already handled
+		}
+		switch cfg.Sem {
+		case SemPart:
+			// Wait for every pending flagged request.
+			return q.Flag
+		case SemBack:
+			// Wait for everything submitted at or before the most
+			// recently submitted flagged request (whether or not that
+			// flagged request itself is still pending).
+			return q.ID <= lastFlagID
+		case SemFull:
+			// As SemBack, and a flagged request is additionally a full
+			// barrier: it waits for all previous requests.
+			return q.ID <= lastFlagID || r.Flag
+		}
+	case ModeChains:
+		// Barrier fallback (section 3.2's simpler de-allocation approach):
+		// a flagged request under chains acts as a Part-NR-style barrier —
+		// later writes wait for it, reads pass.
+		if r.Op == disk.Write && q.Flag {
+			return true
+		}
+		// Explicit dependency lists; IDs no longer pending dropped out by
+		// construction (q ranges over pending requests only).
+		for _, id := range r.DependsOn {
+			if id == q.ID {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Predecessors computes the ordering barrier of r: the IDs among `prior`
@@ -299,88 +400,22 @@ func (d *Driver) computeBarrier(r *Request) {
 // lastFlagID is the ID of the most recently submitted flagged request at
 // r's submission time (zero if none; relevant to ModeFlag only).
 //
-// This is the exact predicate Submit enforces; it is exported because the
-// crash-state model checker (package crashmc) uses the same relation to
-// decide which completed-subsets of pending writes a crash could legally
-// expose, and because the flag-semantics tests pin its behavior directly.
+// This is the exact predicate Submit enforces (predecessorOf, applied to
+// each pending request); it is exported because the crash-state model
+// checker (package crashmc) uses the same relation to decide which
+// completed-subsets of pending writes a crash could legally expose, and
+// because the flag-semantics tests pin its behavior directly.
 func Predecessors(cfg Config, r *Request, prior []*Request, lastFlagID uint64) map[uint64]struct{} {
 	waiting := make(map[uint64]struct{})
-	wait := func(q *Request) { waiting[q.ID] = struct{}{} }
-
-	scan := func(f func(q *Request)) {
-		for _, q := range prior {
-			f(q)
-		}
-	}
-
-	// Conflicts: overlapping ranges where at least one side writes never
-	// reorder, in every mode.
-	scan(func(q *Request) {
-		if r.overlaps(q) && (r.Op == disk.Write || q.Op == disk.Write) {
-			wait(q)
-		}
-	})
-
-	switch cfg.Mode {
-	case ModeIgnore:
-		// Nothing further.
-	case ModeFlag:
-		if cfg.NR && r.Op == disk.Read {
-			return waiting // reads bypass ordering, conflicts already handled
-		}
-		switch cfg.Sem {
-		case SemPart:
-			// Wait for every pending flagged request.
-			scan(func(q *Request) {
-				if q.Flag {
-					wait(q)
-				}
-			})
-		case SemBack:
-			// Wait for everything submitted at or before the most
-			// recently submitted flagged request (whether or not that
-			// flagged request itself is still pending).
-			scan(func(q *Request) {
-				if q.ID <= lastFlagID {
-					wait(q)
-				}
-			})
-		case SemFull:
-			scan(func(q *Request) {
-				if q.ID <= lastFlagID {
-					wait(q)
-				}
-			})
-			if r.Flag {
-				// A full barrier also waits for all previous requests.
-				scan(wait)
-			}
-		}
-	case ModeChains:
-		pending := make(map[uint64]struct{}, len(prior))
-		for _, q := range prior {
-			pending[q.ID] = struct{}{}
-		}
-		for _, id := range r.DependsOn {
-			if _, ok := pending[id]; ok {
-				waiting[id] = struct{}{}
-			}
-		}
-		// Barrier fallback (section 3.2's simpler de-allocation approach):
-		// a flagged request under chains acts as a Part-NR-style barrier —
-		// later writes wait for it, reads pass.
-		if r.Op == disk.Write {
-			scan(func(q *Request) {
-				if q.Flag {
-					wait(q)
-				}
-			})
+	for _, q := range prior {
+		if predecessorOf(cfg, r, q, lastFlagID) {
+			waiting[q.ID] = struct{}{}
 		}
 	}
 	return waiting
 }
 
-func (r *Request) eligible() bool { return len(r.waitingOn) == 0 }
+func (r *Request) eligible() bool { return r.nwait == 0 }
 
 // kick dispatches the next batch if the disk is idle and work is eligible.
 func (d *Driver) kick() {
@@ -421,7 +456,8 @@ func (d *Driver) pickCLOOK() *Request {
 // the device driver concatenates sequential requests". One LBN index per
 // dispatch keeps this linear even with thousands of queued requests.
 func (d *Driver) concat(pick *Request) []*Request {
-	byLBN := make(map[int64]*Request, len(d.queue))
+	byLBN := d.concatIdx
+	clear(byLBN)
 	for _, r := range d.queue {
 		if r != pick && r.eligible() && r.Op == pick.Op {
 			if _, dup := byLBN[r.LBN]; !dup { // earliest submission wins
@@ -507,10 +543,11 @@ func (d *Driver) complete(batch []*Request, acc disk.Access) {
 		d.obs.RequestsCompleted(ids, now)
 	}
 	for _, r := range batch {
-		for _, blocked := range d.blocking[r.ID] {
-			delete(blocked.waitingOn, r.ID)
+		for i, blocked := range r.blocks {
+			blocked.nwait--
+			r.blocks[i] = nil
 		}
-		delete(d.blocking, r.ID)
+		r.blocks = r.blocks[:0]
 		d.Trace.Stats = append(d.Trace.Stats, Stat{
 			ID:       r.ID,
 			Op:       r.Op,

@@ -100,10 +100,23 @@ type Access struct {
 	CacheHit    bool         // read fully satisfied from the read-ahead segment
 }
 
+// chunkBytes is the granularity of lazy media materialization. The harness
+// creates hundreds of Systems per sweep, each with a media limit in the
+// hundreds of megabytes but a working set of a few megabytes; allocating
+// (and zeroing) the full limit up front dominated whole-suite CPU time, so
+// media chunks come into existence only when first written.
+const chunkBytes = 1 << 20
+
 // Disk is the drive model plus its media contents.
 type Disk struct {
 	P    Params
-	data []byte
+	size int64 // materialized media bytes (whole sectors)
+	// chunks holds the media in chunkBytes pieces; a nil chunk reads as
+	// zeros and is allocated on first write. After Image() flattens the
+	// media, every chunk aliases a window of the flat slice, so chunk
+	// writes and the returned image stay coherent.
+	chunks [][]byte
+	flat   []byte // non-nil once Image has flattened the media
 
 	headCyl int // current cylinder
 
@@ -122,9 +135,10 @@ type Disk struct {
 }
 
 // New returns a disk with the given parameters and zeroed media. Only
-// `sizeLimit` bytes of media are materialized (the file systems in this
+// `sizeLimit` bytes of media are addressable (the file systems in this
 // repository use far less than the full 1 GB); accesses past the limit
-// panic, which always indicates an addressing bug.
+// panic, which always indicates an addressing bug. Media is materialized
+// lazily in chunkBytes pieces, so an untouched region costs nothing.
 func New(p Params, sizeLimit int64) *Disk {
 	if sizeLimit <= 0 || sizeLimit > p.Capacity() {
 		sizeLimit = p.Capacity()
@@ -133,15 +147,72 @@ func New(p Params, sizeLimit int64) *Disk {
 	sizeLimit = (sizeLimit + SectorSize - 1) / SectorSize * SectorSize
 	return &Disk{
 		P:              p,
-		data:           make([]byte, sizeLimit),
+		size:           sizeLimit,
+		chunks:         make([][]byte, (sizeLimit+chunkBytes-1)/chunkBytes),
 		mediaPerSector: sim.Duration(int64(p.RevTime()) / int64(p.SectorsPerTrack)),
 		preStart:       -1,
 		preEnd:         -1,
 	}
 }
 
-// Sectors returns the number of materialized sectors.
-func (d *Disk) Sectors() int64 { return int64(len(d.data)) / SectorSize }
+// Sectors returns the number of addressable sectors.
+func (d *Disk) Sectors() int64 { return d.size / SectorSize }
+
+// chunkLen returns the byte length of chunk i (the last chunk may be short).
+func (d *Disk) chunkLen(i int64) int {
+	if n := d.size - i*chunkBytes; n < chunkBytes {
+		return int(n)
+	}
+	return chunkBytes
+}
+
+// writeAt copies p onto the media at byte offset off, materializing chunks
+// as needed.
+func (d *Disk) writeAt(off int64, p []byte) {
+	if off < 0 || off+int64(len(p)) > d.size {
+		panic(fmt.Sprintf("disk: write [%d,%d) outside media [0,%d)", off, off+int64(len(p)), d.size))
+	}
+	for len(p) > 0 {
+		ci, co := off/chunkBytes, off%chunkBytes
+		c := d.chunks[ci]
+		if c == nil {
+			c = make([]byte, d.chunkLen(ci))
+			d.chunks[ci] = c
+		}
+		n := copy(c[co:], p)
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// readAt fills buf from media byte offset off; unmaterialized chunks read
+// as zeros.
+func (d *Disk) readAt(off int64, buf []byte) {
+	if off < 0 || off+int64(len(buf)) > d.size {
+		panic(fmt.Sprintf("disk: read [%d,%d) outside media [0,%d)", off, off+int64(len(buf)), d.size))
+	}
+	for len(buf) > 0 {
+		ci, co := off/chunkBytes, off%chunkBytes
+		var n int
+		if c := d.chunks[ci]; c == nil {
+			n = d.chunkLen(ci) - int(co)
+			if n > len(buf) {
+				n = len(buf)
+			}
+			clear(buf[:n])
+		} else {
+			n = copy(buf, c[co:])
+		}
+		buf = buf[n:]
+		off += int64(n)
+	}
+}
+
+// WriteAt copies buf onto the media at byte offset off, outside simulated
+// time and with no sector-alignment requirement. It exists for mkfs-style
+// initializers (ffs.Format) that would otherwise flatten the lazy media
+// through Image just to poke a few kilobytes.
+func (d *Disk) WriteAt(off int64, buf []byte) { d.writeAt(off, buf) }
 
 func (d *Disk) cylOf(lbn int64) int {
 	return int(lbn / int64(d.P.SectorsPerTrack*d.P.Heads))
@@ -253,7 +324,7 @@ func (d *Disk) Commit(lbn int64, data []byte) {
 	if len(data)%SectorSize != 0 {
 		panic("disk: write not sector-aligned")
 	}
-	copy(d.data[lbn*SectorSize:], data)
+	d.writeAt(lbn*SectorSize, data)
 }
 
 // CommitPrefix applies only the first n sectors of a write — the crash case.
@@ -264,28 +335,53 @@ func (d *Disk) CommitPrefix(lbn int64, data []byte, n int) {
 	if max := len(data) / SectorSize; n > max {
 		n = max
 	}
-	copy(d.data[lbn*SectorSize:], data[:n*SectorSize])
+	d.writeAt(lbn*SectorSize, data[:n*SectorSize])
 }
 
 // ReadAt copies count sectors starting at lbn into buf.
 func (d *Disk) ReadAt(lbn int64, buf []byte) {
-	copy(buf, d.data[lbn*SectorSize:lbn*SectorSize+int64(len(buf))])
+	d.readAt(lbn*SectorSize, buf)
 }
 
 // Image returns the raw media contents, NOT a copy: the returned slice
 // aliases the live media, so any later simulated write — including the
 // sector-prefix commits of Driver.Crash — mutates it in place. It exists
-// for in-place mutators (Format) and for read-only inspection of a halted
-// simulation. Anything that captures a crash image for later analysis
-// while the system may still move (fsim.System.Crash, the crash tests,
-// the crashmc base snapshot) must use CloneImage instead.
-func (d *Disk) Image() []byte { return d.data }
+// for read-only inspection of a halted simulation. Anything that captures
+// a crash image for later analysis while the system may still move
+// (fsim.System.Crash, the crash tests, the crashmc base snapshot) must use
+// CloneImage instead.
+//
+// The first call flattens the lazily-chunked media into one contiguous
+// slice and re-points every chunk into it, so the aliasing guarantee holds
+// across later writes; the flattening cost (size-of-media allocation) is
+// paid only by callers that need the raw image.
+func (d *Disk) Image() []byte {
+	if d.flat == nil {
+		flat := make([]byte, d.size)
+		for i, c := range d.chunks {
+			if c != nil {
+				copy(flat[int64(i)*chunkBytes:], c)
+			}
+		}
+		for i := range d.chunks {
+			lo := int64(i) * chunkBytes
+			hi := lo + int64(d.chunkLen(int64(i)))
+			d.chunks[i] = flat[lo:hi:hi]
+		}
+		d.flat = flat
+	}
+	return d.flat
+}
 
 // CloneImage returns an independent copy of the media — the required form
 // for crash images and before/after comparisons (see Image for the
 // aliasing hazard it avoids).
 func (d *Disk) CloneImage() []byte {
-	c := make([]byte, len(d.data))
-	copy(c, d.data)
+	c := make([]byte, d.size)
+	for i, ch := range d.chunks {
+		if ch != nil {
+			copy(c[int64(i)*chunkBytes:], ch)
+		}
+	}
 	return c
 }

@@ -93,20 +93,30 @@ func scanChunk(b []byte, chunkOff int, f func(d Dirent) bool) int {
 // found, and always returns the total number of entries scanned (the CPU
 // cost driver for the paper's "less CPU time spent checking the directory
 // contents" effect).
+//
+// The scan reads raw dirent bytes in place: every create/lookup/remove
+// walks directories, so materializing a Dirent (and its name string) per
+// visited entry would put an allocation on the per-operation hot path. The
+// string conversion in the name comparison is allocation-free (the
+// compiler never heap-allocates a string used only as a comparison
+// operand).
 func findEntry(data []byte, name string) (Dirent, bool, int) {
+	le := binary.LittleEndian
 	scanned := 0
 	for chunk := 0; chunk < len(data); chunk += DirChunk {
-		var found *Dirent
-		scanned += scanChunk(data, chunk, func(d Dirent) bool {
-			if d.Ino != 0 && d.Name == name {
-				dd := d
-				found = &dd
-				return false
+		for off := chunk; off < chunk+DirChunk; {
+			reclen := int(le.Uint16(data[off+4:]))
+			if reclen <= 0 {
+				break // corrupt; fsck's problem
 			}
-			return true
-		})
-		if found != nil {
-			return *found, true, scanned
+			scanned++
+			ino := Ino(le.Uint32(data[off:]))
+			namelen := int(data[off+6])
+			if ino != 0 && namelen == len(name) &&
+				string(data[off+direntHdr:off+direntHdr+namelen]) == name {
+				return readDirent(data, off), true, scanned
+			}
+			off += reclen
 		}
 	}
 	return Dirent{}, false, scanned
@@ -117,30 +127,29 @@ func findEntry(data []byte, name string) (Dirent, bool, int) {
 // full. Free space is either an unused entry (ino 0) or slack at the tail
 // of a live entry's reclen.
 func addEntryInData(data []byte, name string, ino Ino, ftype uint8) (off int, ok bool) {
+	le := binary.LittleEndian
 	need := entrySpace(len(name))
 	for chunk := 0; chunk < len(data); chunk += DirChunk {
-		result := -1
-		scanChunk(data, chunk, func(d Dirent) bool {
-			if d.Ino == 0 && d.Reclen >= need {
+		for off := chunk; off < chunk+DirChunk; {
+			reclen := int(le.Uint16(data[off+4:]))
+			if reclen <= 0 {
+				break // corrupt; fsck's problem
+			}
+			entIno := Ino(le.Uint32(data[off:]))
+			if entIno == 0 && reclen >= need {
 				// Claim the free entry's space.
-				putDirent(data[d.Off:], ino, d.Reclen, name, ftype)
-				result = d.Off
-				return false
+				putDirent(data[off:], ino, reclen, name, ftype)
+				return off, true
 			}
-			used := entrySpace(int(data[d.Off+6]))
-			if d.Ino != 0 && d.Reclen-used >= need {
+			used := entrySpace(int(data[off+6]))
+			if entIno != 0 && reclen-used >= need {
 				// Split the slack off the live entry.
-				le := binary.LittleEndian
-				le.PutUint16(data[d.Off+4:], uint16(used))
-				newOff := d.Off + used
-				putDirent(data[newOff:], ino, d.Reclen-used, name, ftype)
-				result = newOff
-				return false
+				le.PutUint16(data[off+4:], uint16(used))
+				newOff := off + used
+				putDirent(data[newOff:], ino, reclen-used, name, ftype)
+				return newOff, true
 			}
-			return true
-		})
-		if result >= 0 {
-			return result, true
+			off += reclen
 		}
 	}
 	return 0, false
@@ -153,18 +162,19 @@ func removeEntryInData(data []byte, off int) int {
 	chunk := off / DirChunk * DirChunk
 	le := binary.LittleEndian
 	prev := -1
-	scanChunk(data, chunk, func(d Dirent) bool {
-		if d.Off == off {
-			return false
+	for o := chunk; o < chunk+DirChunk && o != off; {
+		reclen := int(le.Uint16(data[o+4:]))
+		if reclen <= 0 {
+			break // corrupt; fsck's problem
 		}
-		prev = d.Off
-		return true
-	})
-	victim := readDirent(data, off)
+		prev = o
+		o += reclen
+	}
+	victimReclen := int(le.Uint16(data[off+4:]))
 	if prev >= 0 {
 		// Grow the previous entry over the victim's space.
-		p := readDirent(data, prev)
-		le.PutUint16(data[prev+4:], uint16(p.Reclen+victim.Reclen))
+		prevReclen := int(le.Uint16(data[prev+4:]))
+		le.PutUint16(data[prev+4:], uint16(prevReclen+victimReclen))
 		// Scrub the victim header so stale bytes can't masquerade as an
 		// entry (the reclen walk no longer reaches it, but fsck reads raw
 		// bytes).
@@ -172,8 +182,35 @@ func removeEntryInData(data []byte, off int) int {
 		return prev
 	}
 	// First entry of the chunk: becomes an unused entry owning its space.
-	putDirent(data[off:], 0, victim.Reclen, "", 0)
+	putDirent(data[off:], 0, victimReclen, "", 0)
 	return off
+}
+
+// countLive tallies directory data's live entries and reports whether any
+// live entry other than "." and ".." exists. It is the allocation-free
+// scan behind dirEmpty: rmdir checks every victim directory, and decoding
+// a []Dirent per check would allocate on the remove hot path.
+func countLive(data []byte) (live int, nonDot bool) {
+	le := binary.LittleEndian
+	for chunk := 0; chunk < len(data); chunk += DirChunk {
+		for off := chunk; off < chunk+DirChunk; {
+			reclen := int(le.Uint16(data[off+4:]))
+			if reclen <= 0 {
+				break // corrupt; fsck's problem
+			}
+			if Ino(le.Uint32(data[off:])) != 0 {
+				live++
+				namelen := int(data[off+6])
+				name := data[off+direntHdr : off+direntHdr+namelen]
+				if !(namelen == 1 && name[0] == '.') &&
+					!(namelen == 2 && name[0] == '.' && name[1] == '.') {
+					nonDot = true
+				}
+			}
+			off += reclen
+		}
+	}
+	return live, nonDot
 }
 
 // listEntries returns all live entries in directory data.

@@ -131,45 +131,45 @@ func Format(d *disk.Disk, fp FormatParams) (*Superblock, error) {
 		return nil, fmt.Errorf("ffs: no room for data region")
 	}
 
-	img := d.Image()
-	fragAt := func(f int32) []byte {
-		return img[int64(f)*FragSize : int64(f+1)*FragSize]
-	}
+	// All writes go through disk.WriteAt against freshly-zeroed media, so
+	// each region is built in a scratch buffer and stored once; pulling the
+	// flat disk.Image here would defeat the media's lazy chunking by
+	// materializing the full (mostly untouched) size limit per System.
 
 	// Superblock.
-	sb.encode(fragAt(0))
+	var frag [FragSize]byte
+	sb.encode(frag[:])
+	d.WriteAt(0, frag[:])
 
-	// Fragment bitmap: metadata region marked allocated.
-	fsetBit := func(f int32) {
-		byteIdx := int64(sb.FBmapStart)*FragSize + int64(f/8)
-		img[byteIdx] |= 1 << (uint(f) % 8)
+	// Fragment bitmap: metadata region plus the root directory fragment
+	// (frags [0, DataStart]) marked allocated — a contiguous run of bits.
+	rootFrag := sb.DataStart
+	fbm := make([]byte, int(rootFrag)/8+1)
+	for f := int32(0); f <= rootFrag; f++ {
+		fbm[f/8] |= 1 << (uint(f) % 8)
 	}
-	for f := int32(0); f < sb.DataStart; f++ {
-		fsetBit(f)
-	}
+	d.WriteAt(int64(sb.FBmapStart)*FragSize, fbm)
 
 	// Inode bitmap: inodes 0, 1 (reserved) and the root.
-	isetBit := func(ino Ino) {
-		byteIdx := int64(sb.IBmapStart)*FragSize + int64(ino/8)
-		img[byteIdx] |= 1 << (uint(ino) % 8)
+	var ibm [1]byte
+	for _, ino := range []Ino{0, 1, RootIno} {
+		ibm[ino/8] |= 1 << (uint(ino) % 8)
 	}
-	isetBit(0)
-	isetBit(1)
-	isetBit(RootIno)
+	d.WriteAt(int64(sb.IBmapStart)*FragSize, ibm[:])
 
 	// Root directory: one fragment of directory data.
-	rootFrag := sb.DataStart
-	for f := rootFrag; f < rootFrag+1; f++ {
-		fsetBit(f)
-	}
-	dirData := fragAt(rootFrag)
+	dirData := frag[:]
+	clear(dirData)
 	initDirChunks(dirData)
 	mustAddEntryRaw(dirData, ".", RootIno, FtypeDir)
 	mustAddEntryRaw(dirData, "..", RootIno, FtypeDir)
+	d.WriteAt(int64(rootFrag)*FragSize, dirData)
 
 	root := Inode{Mode: ModeDir, Nlink: 2, Size: FragSize}
 	root.Direct[0] = rootFrag
+	var itab [InodeSize]byte
+	root.encode(itab[:])
 	blockFrag, off := sb.InodeFrag(RootIno)
-	root.encode(img[int64(blockFrag)*FragSize+int64(off):])
+	d.WriteAt(int64(blockFrag)*FragSize+int64(off), itab[:])
 	return sb, nil
 }

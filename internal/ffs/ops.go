@@ -328,7 +328,6 @@ func (fs *FS) Rmdir(p *sim.Proc, dir Ino, name string) error {
 
 func (fs *FS) dirEmpty(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff int) (bool, error) {
 	nblocks := blocksOf(ip.Size)
-	count := 0
 	for bi := 0; bi < nblocks; bi++ {
 		b, err := fs.readBlock(p, ino, ip, ib, ioff, bi)
 		if err != nil {
@@ -338,13 +337,10 @@ func (fs *FS) dirEmpty(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff int)
 		if limit > len(b.Data) {
 			limit = len(b.Data)
 		}
-		ents := listEntries(b.Data[:limit])
-		fs.charge(p, fs.cfg.Costs.DirScanEntry*sim.Duration(len(ents)))
-		for _, d := range ents {
-			if d.Name != "." && d.Name != ".." {
-				return false, nil
-			}
-			count++
+		live, nonDot := countLive(b.Data[:limit])
+		fs.charge(p, fs.cfg.Costs.DirScanEntry*sim.Duration(live))
+		if nonDot {
+			return false, nil
 		}
 	}
 	return true, nil

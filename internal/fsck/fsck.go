@@ -138,7 +138,10 @@ func (r *Report) add(k Kind, ino ffs.Ino, format string, args ...interface{}) {
 }
 
 type checker struct {
-	img []byte
+	img Image
+	// raw is the writable backing slice — set only by Repair, whose
+	// in-place fixes need mutable views; Check paths read through img.
+	raw []byte
 	sb  ffs.Superblock
 	rep *Report
 
@@ -147,11 +150,15 @@ type checker struct {
 }
 
 func (c *checker) frag(f int32) []byte {
-	return c.img[int64(f)*ffs.FragSize : int64(f+1)*ffs.FragSize]
+	return c.img.Range(int64(f)*ffs.FragSize, ffs.FragSize)
 }
 
-// Check walks the image and returns the integrity report.
-func Check(img []byte) *Report {
+// Check walks a materialized image and returns the integrity report.
+func Check(img []byte) *Report { return CheckImage(Bytes(img)) }
+
+// CheckImage walks the image — materialized or virtual — and returns the
+// integrity report.
+func CheckImage(img Image) *Report {
 	rep := &Report{Refs: make(map[ffs.Ino]int)}
 	c := &checker{img: img, rep: rep}
 	if err := decodeSB(img, &c.sb); err != nil {
@@ -206,24 +213,25 @@ func Check(img []byte) *Report {
 	return rep
 }
 
-func decodeSB(img []byte, sb *ffs.Superblock) error {
+func decodeSB(img Image, sb *ffs.Superblock) error {
 	le := binary.LittleEndian
-	if le.Uint32(img[0:]) != ffs.Magic {
-		return fmt.Errorf("bad magic %#x", le.Uint32(img[0:]))
+	b := img.Range(0, 28)
+	if le.Uint32(b[0:]) != ffs.Magic {
+		return fmt.Errorf("bad magic %#x", le.Uint32(b[0:]))
 	}
-	sb.Magic = le.Uint32(img[0:])
-	sb.TotalFrags = int32(le.Uint32(img[4:]))
-	sb.NInodes = le.Uint32(img[8:])
-	sb.InodeStart = int32(le.Uint32(img[12:]))
-	sb.IBmapStart = int32(le.Uint32(img[16:]))
-	sb.FBmapStart = int32(le.Uint32(img[20:]))
-	sb.DataStart = int32(le.Uint32(img[24:]))
+	sb.Magic = le.Uint32(b[0:])
+	sb.TotalFrags = int32(le.Uint32(b[4:]))
+	sb.NInodes = le.Uint32(b[8:])
+	sb.InodeStart = int32(le.Uint32(b[12:]))
+	sb.IBmapStart = int32(le.Uint32(b[16:]))
+	sb.FBmapStart = int32(le.Uint32(b[20:]))
+	sb.DataStart = int32(le.Uint32(b[24:]))
 	return nil
 }
 
 func (c *checker) readInode(ino ffs.Ino) ffs.Inode {
 	frag, off := c.sb.InodeFrag(ino)
-	return ffs.DecodeInode(c.img[int64(frag)*ffs.FragSize+int64(off):])
+	return ffs.DecodeInode(c.img.Range(int64(frag)*ffs.FragSize+int64(off), ffs.InodeSize))
 }
 
 // claim records ino's ownership of frags [start, start+n), reporting range
@@ -273,7 +281,7 @@ func (c *checker) claimFile(ino ffs.Ino, ip *ffs.Inode) {
 	if ip.Indir != 0 {
 		if c.claim(ino, ip.Indir, ffs.BlockFrags) {
 			// An indirect block spans BlockFrags fragments.
-			data := c.img[int64(ip.Indir)*ffs.FragSize : int64(ip.Indir+ffs.BlockFrags)*ffs.FragSize]
+			data := c.img.Range(int64(ip.Indir)*ffs.FragSize, ffs.BlockSize)
 			for i := 0; i < ffs.PtrsPerBlock && bi < nblocks; i, bi = i+1, bi+1 {
 				ptr := int32(binary.LittleEndian.Uint32(data[i*4:]))
 				if ptr == 0 {
@@ -288,9 +296,16 @@ func (c *checker) claimFile(ino ffs.Ino, ip *ffs.Inode) {
 	}
 	if ip.Dindir != 0 {
 		if c.claim(ino, ip.Dindir, ffs.BlockFrags) {
-			ddata := c.img[int64(ip.Dindir)*ffs.FragSize : int64(ip.Dindir+ffs.BlockFrags)*ffs.FragSize]
+			// Decode the level-1 pointers before walking them: the walk
+			// issues a Range per pointer, and Image views from scratch-
+			// backed implementations do not survive that many later calls.
+			var l1ptrs [ffs.PtrsPerBlock]int32
+			ddata := c.img.Range(int64(ip.Dindir)*ffs.FragSize, ffs.BlockSize)
+			for l1 := range l1ptrs {
+				l1ptrs[l1] = int32(binary.LittleEndian.Uint32(ddata[l1*4:]))
+			}
 			for l1 := 0; l1 < ffs.PtrsPerBlock && bi < nblocks; l1++ {
-				l1ptr := int32(binary.LittleEndian.Uint32(ddata[l1*4:]))
+				l1ptr := l1ptrs[l1]
 				if l1ptr == 0 {
 					c.rep.add(ShortFile, ino, "hole at dindirect slot %d", l1)
 					bi += ffs.PtrsPerBlock
@@ -300,7 +315,7 @@ func (c *checker) claimFile(ino ffs.Ino, ip *ffs.Inode) {
 					bi += ffs.PtrsPerBlock
 					continue
 				}
-				ldata := c.img[int64(l1ptr)*ffs.FragSize : int64(l1ptr+ffs.BlockFrags)*ffs.FragSize]
+				ldata := c.img.Range(int64(l1ptr)*ffs.FragSize, ffs.BlockSize)
 				for l2 := 0; l2 < ffs.PtrsPerBlock && bi < nblocks; l2, bi = l2+1, bi+1 {
 					ptr := int32(binary.LittleEndian.Uint32(ldata[l2*4:]))
 					if ptr == 0 {
@@ -327,7 +342,7 @@ func (c *checker) dirData(ino ffs.Ino, ip ffs.Inode) []byte {
 		if rem := int(ip.Size) - bi*ffs.BlockSize; rem < n {
 			n = (rem + ffs.FragSize - 1) / ffs.FragSize * ffs.FragSize
 		}
-		out = append(out, c.img[int64(ptr)*ffs.FragSize:int64(ptr)*ffs.FragSize+int64(n)]...)
+		out = append(out, c.img.Range(int64(ptr)*ffs.FragSize, int64(n))...)
 	}
 	if int(ip.Size) < len(out) {
 		out = out[:ip.Size]
@@ -389,7 +404,7 @@ func (c *checker) checkDir(ino ffs.Ino, ip ffs.Inode, inodes map[ffs.Ino]ffs.Ino
 }
 
 func (c *checker) checkBitmaps(inodes map[ffs.Ino]ffs.Inode) {
-	ibm := c.img[int64(c.sb.IBmapStart)*ffs.FragSize:]
+	ibm := c.img.Range(int64(c.sb.IBmapStart)*ffs.FragSize, (int64(c.sb.NInodes)+7)/8)
 	for ino := ffs.Ino(2); uint32(ino) < c.sb.NInodes; ino++ {
 		set := ibm[ino/8]&(1<<(uint(ino)%8)) != 0
 		_, used := inodes[ino]
@@ -399,7 +414,7 @@ func (c *checker) checkBitmaps(inodes map[ffs.Ino]ffs.Inode) {
 			c.rep.add(LeakedInode, ino, "free inode marked allocated")
 		}
 	}
-	fbm := c.img[int64(c.sb.FBmapStart)*ffs.FragSize:]
+	fbm := c.img.Range(int64(c.sb.FBmapStart)*ffs.FragSize, (int64(c.sb.TotalFrags)+7)/8)
 	leaks, stale := 0, 0
 	for f := c.sb.DataStart; f < c.sb.TotalFrags; f++ {
 		set := fbm[f/8]&(1<<(uint(f)%8)) != 0
@@ -442,11 +457,15 @@ func MakeStampedData(ino ffs.Ino, n int) []byte {
 	return b
 }
 
-// ContentViolations scans every file's data fragments. A fragment must be
-// all-zero (never written), or stamped with its owner. A fragment stamped
+// ContentViolations scans a materialized image's file data fragments; see
+// ContentViolationsImage.
+func ContentViolations(img []byte) []Finding { return ContentViolationsImage(Bytes(img)) }
+
+// ContentViolationsImage scans every file's data fragments. A fragment must
+// be all-zero (never written), or stamped with its owner. A fragment stamped
 // with a DIFFERENT inode is the allocation-initialization failure: the file
 // exposes another (deleted) file's contents — the paper's security hole.
-func ContentViolations(img []byte) []Finding {
+func ContentViolationsImage(img Image) []Finding {
 	var sb ffs.Superblock
 	if err := decodeSB(img, &sb); err != nil {
 		return []Finding{{Kind: BadSuperblock, Detail: err.Error()}}

@@ -1,0 +1,25 @@
+package fsck
+
+// Image is a read-only view of a raw file-system image. It lets callers
+// hand the checker virtual images — crashmc's copy-on-write overlays
+// (committed base + per-sector write deltas) — without materializing a
+// full media-sized byte slice per candidate.
+//
+// Range returns a view of bytes [off, off+n). Implementations may serve
+// dirty regions from reused scratch buffers, so a view is only guaranteed
+// valid until the caller's fourth subsequent Range call; the checker holds
+// at most two views at once. Callers must treat views as immutable.
+type Image interface {
+	Len() int64
+	Range(off, n int64) []byte
+}
+
+// Bytes adapts a materialized image to Image. Views alias the slice
+// directly and remain valid indefinitely.
+type Bytes []byte
+
+// Len implements Image.
+func (b Bytes) Len() int64 { return int64(len(b)) }
+
+// Range implements Image.
+func (b Bytes) Range(off, n int64) []byte { return b[off : off+n] }

@@ -26,10 +26,10 @@ import (
 func Repair(img []byte) []string {
 	var actions []string
 	var sb ffs.Superblock
-	if err := decodeSB(img, &sb); err != nil {
+	if err := decodeSB(Bytes(img), &sb); err != nil {
 		return []string{"unrepairable: " + err.Error()}
 	}
-	c := &checker{img: img, sb: sb, rep: &Report{Refs: make(map[ffs.Ino]int)}}
+	c := &checker{img: Bytes(img), raw: img, sb: sb, rep: &Report{Refs: make(map[ffs.Ino]int)}}
 	c.fragOwner = make([]ffs.Ino, sb.TotalFrags-sb.DataStart)
 
 	log := func(format string, args ...interface{}) {
@@ -189,7 +189,7 @@ func (c *checker) verifyMap(ino ffs.Ino, ip *ffs.Inode) (truncAtBlock int, bad b
 	if ip.Indir == 0 || !claimOK(ip.Indir, ffs.BlockFrags) {
 		return ffs.NDirect, true
 	}
-	data := c.img[int64(ip.Indir)*ffs.FragSize : int64(ip.Indir+ffs.BlockFrags)*ffs.FragSize]
+	data := c.raw[int64(ip.Indir)*ffs.FragSize : int64(ip.Indir+ffs.BlockFrags)*ffs.FragSize]
 	for i := 0; i < ffs.PtrsPerBlock; i++ {
 		bi := ffs.NDirect + i
 		if bi >= nblocks {
@@ -206,7 +206,7 @@ func (c *checker) verifyMap(ino ffs.Ino, ip *ffs.Inode) (truncAtBlock int, bad b
 	if ip.Dindir == 0 || !claimOK(ip.Dindir, ffs.BlockFrags) {
 		return ffs.NDirect + ffs.PtrsPerBlock, true
 	}
-	ddata := c.img[int64(ip.Dindir)*ffs.FragSize : int64(ip.Dindir+ffs.BlockFrags)*ffs.FragSize]
+	ddata := c.raw[int64(ip.Dindir)*ffs.FragSize : int64(ip.Dindir+ffs.BlockFrags)*ffs.FragSize]
 	for l1 := 0; l1 < ffs.PtrsPerBlock; l1++ {
 		base := ffs.NDirect + ffs.PtrsPerBlock + l1*ffs.PtrsPerBlock
 		if base >= nblocks {
@@ -216,7 +216,7 @@ func (c *checker) verifyMap(ino ffs.Ino, ip *ffs.Inode) (truncAtBlock int, bad b
 		if l1ptr == 0 || !claimOK(l1ptr, ffs.BlockFrags) {
 			return base, true
 		}
-		ldata := c.img[int64(l1ptr)*ffs.FragSize : int64(l1ptr+ffs.BlockFrags)*ffs.FragSize]
+		ldata := c.raw[int64(l1ptr)*ffs.FragSize : int64(l1ptr+ffs.BlockFrags)*ffs.FragSize]
 		for l2 := 0; l2 < ffs.PtrsPerBlock; l2++ {
 			bi := base + l2
 			if bi >= nblocks {
@@ -249,7 +249,7 @@ func (c *checker) truncateInode(ino ffs.Ino, ip *ffs.Inode, truncAtBlock int) {
 		ip.Dindir = 0
 	}
 	frag, off := c.sb.InodeFrag(ino)
-	ffs.EncodeInode(ip, c.img[int64(frag)*ffs.FragSize+int64(off):])
+	ffs.EncodeInode(ip, c.raw[int64(frag)*ffs.FragSize+int64(off):])
 }
 
 // dirHasDots reports whether the directory's data contains both "." and
@@ -259,7 +259,7 @@ func (c *checker) dirHasDots(ip ffs.Inode) bool {
 	if ptr < c.sb.DataStart || ptr >= c.sb.TotalFrags {
 		return false
 	}
-	head := c.img[int64(ptr)*ffs.FragSize : int64(ptr)*ffs.FragSize+ffs.DirChunk]
+	head := c.raw[int64(ptr)*ffs.FragSize : int64(ptr)*ffs.FragSize+ffs.DirChunk]
 	sawDot, sawDotdot := false, false
 	for off := 0; off < ffs.DirChunk; {
 		le := binary.LittleEndian
@@ -285,7 +285,7 @@ func (c *checker) dirHasDots(ip ffs.Inode) bool {
 func (c *checker) clearInode(ino ffs.Ino) {
 	frag, off := c.sb.InodeFrag(ino)
 	cleared := ffs.Inode{}
-	ffs.EncodeInode(&cleared, c.img[int64(frag)*ffs.FragSize+int64(off):])
+	ffs.EncodeInode(&cleared, c.raw[int64(frag)*ffs.FragSize+int64(off):])
 }
 
 // putRawDirent writes a minimal directory entry header + name.
@@ -329,7 +329,7 @@ func (c *checker) dirBlocks(ip ffs.Inode, f func(bi int, data []byte, limit int)
 				nf = (rem + ffs.FragSize - 1) / ffs.FragSize
 			}
 		}
-		data := c.img[int64(ptr)*ffs.FragSize : int64(ptr)*ffs.FragSize+int64(nf*ffs.FragSize)]
+		data := c.raw[int64(ptr)*ffs.FragSize : int64(ptr)*ffs.FragSize+int64(nf*ffs.FragSize)]
 		limit := int(ip.Size) - bi*ffs.BlockSize
 		if limit > len(data) {
 			limit = len(data)

@@ -1,0 +1,59 @@
+package sim_test
+
+import (
+	"testing"
+
+	"metaupdate/internal/sim"
+)
+
+// BenchmarkEngineEvent measures the engine's event round trips — the cost
+// every simulated disk access, CPU slice, and lock handoff pays.
+func BenchmarkEngineEvent(b *testing.B) {
+	// timer: schedule a future fn event, pop it, fire it.
+	b.Run("timer", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		n := 0
+		var fn func()
+		fn = func() {
+			n++
+			if n < b.N {
+				e.At(e.Now()+1, fn)
+			}
+		}
+		b.ResetTimer()
+		e.At(1, fn)
+		e.Run()
+	})
+	// sleep: park a proc, schedule its wake, and hand control back —
+	// the closure-free proc-wake path.
+	b.Run("sleep", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		b.ResetTimer()
+		e.Spawn("sleeper", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(1)
+			}
+		})
+		e.Run()
+	})
+	// wake: a contended mutex ping-pong between two procs — same-instant
+	// FIFO queue traffic plus waiter handoff.
+	b.Run("wake", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		var mu sim.Mutex
+		b.ResetTimer()
+		for w := 0; w < 2; w++ {
+			e.Spawn("worker", func(p *sim.Proc) {
+				for i := 0; i < b.N/2; i++ {
+					mu.Lock(p)
+					p.Sleep(1)
+					mu.Unlock(e)
+				}
+			})
+		}
+		e.Run()
+	})
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSameInstantGlobalOrderProperty is the fast-queue ordering property
+// test: no matter how events are interleaved between the heap (scheduled
+// for a future instant) and the same-instant fast queue (scheduled at now,
+// possibly from inside other events), the observed firing order is exactly
+// ascending (at, seq) — i.e. indistinguishable from a single global queue.
+func TestSameInstantGlobalOrderProperty(t *testing.T) {
+	e := NewEngine()
+	type stamp struct {
+		at  Time
+		seq int // order of scheduling, assigned by the test
+	}
+	var fired []stamp
+	scheduled := 0
+
+	// A deterministic LCG drives the interleaving decisions so the test is
+	// reproducible without seeding from wall clock.
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+
+	// Each fired event may schedule more events: some at the current
+	// instant (fast queue), some at the instant the heap top occupies, some
+	// strictly later. Depth-bound the recursion via a budget.
+	budget := 2000
+	var schedule func(at Time)
+	schedule = func(at Time) {
+		if budget <= 0 {
+			return
+		}
+		budget--
+		scheduled++
+		s := stamp{at: at, seq: scheduled}
+		e.At(at, func() {
+			fired = append(fired, s)
+			for k := next(3); k > 0; k-- {
+				schedule(e.Now() + Time(next(4))) // offset 0 → fast queue
+			}
+		})
+	}
+	for i := 0; i < 20; i++ {
+		schedule(Time(next(10)))
+	}
+	e.Run()
+
+	if len(fired) < 100 {
+		t.Fatalf("property test fired only %d events", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("event %d (at=%v seq=%d) fired before event %d (at=%v seq=%d)",
+				i-1, a.at, a.seq, i, b.at, b.seq)
+		}
+	}
+}
+
+// TestHaltedEngineRejectsScheduling: after RunUntil stops at its limit the
+// engine is halted and At/Spawn panic instead of silently queueing events
+// into a frozen simulation; a subsequent run clears the halt.
+func TestHaltedEngineRejectsScheduling(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.At(30, func() {})
+	e.RunUntil(20)
+	if !e.Halted() {
+		t.Fatal("engine not halted after RunUntil stopped at limit")
+	}
+
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on halted engine did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("At", func() { e.At(e.Now()+1, func() {}) })
+	mustPanic("Spawn", func() { e.Spawn("late", func(p *Proc) {}) })
+
+	e.Run() // clears the halt and drains the queue
+	if e.Halted() {
+		t.Fatal("engine still halted after Run drained the queue")
+	}
+	e.At(e.Now()+1, func() {}) // must not panic now
+	e.Run()
+}
+
+// TestRunToCompletionNotHalted: draining the queue (rather than hitting the
+// limit) leaves the engine schedulable.
+func TestRunToCompletionNotHalted(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.RunUntil(100)
+	if e.Halted() {
+		t.Fatal("engine halted even though the queue drained before the limit")
+	}
+}
+
+// TestCompletionOnFireAfterFire: a callback registered after Fire runs
+// immediately, in registration context.
+func TestCompletionOnFireAfterFire(t *testing.T) {
+	e := NewEngine()
+	c := NewCompletion()
+	e.At(5, func() { c.Fire(e) })
+	e.Run()
+	ran := false
+	c.OnFire(func() { ran = true })
+	if !ran {
+		t.Fatal("OnFire after Fire did not run immediately")
+	}
+}
+
+// TestCompletionReset: Reset returns a fired completion to service, reusing
+// it end to end; resetting an unfired completion panics.
+func TestCompletionReset(t *testing.T) {
+	e := NewEngine()
+	c := NewCompletion()
+	woke := 0
+	e.Spawn("waiter", func(p *Proc) {
+		c.Wait(p)
+		woke++
+		c.Reset()
+		if c.Fired() {
+			t.Error("completion still fired after Reset")
+		}
+		c.Wait(p)
+		woke++
+	})
+	e.At(10, func() { c.Fire(e) })
+	e.At(20, func() { c.Fire(e) })
+	e.Run()
+	if woke != 2 {
+		t.Fatalf("waiter woke %d times across Reset, want 2", woke)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset of unfired completion did not panic")
+		}
+	}()
+	NewCompletion().Reset()
+}
+
+// TestMutexTryLockVsQueuedWaiters: when Unlock hands the mutex to a queued
+// waiter, ownership transfers at the instant of Unlock — a TryLock between
+// the handoff and the waiter actually resuming must fail.
+func TestMutexTryLockVsQueuedWaiters(t *testing.T) {
+	e := NewEngine()
+	var m Mutex
+	var got []string
+	e.Spawn("holder", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(10)
+		m.Unlock(e)
+		// The mutex is now owned by "waiter" even though it has not
+		// resumed yet (its wake event is queued behind us).
+		if m.TryLock() {
+			t.Error("TryLock succeeded while ownership was queued for a waiter")
+		}
+		got = append(got, "holder-unlocked")
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		m.Lock(p)
+		got = append(got, "waiter-locked")
+		m.Unlock(e)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "holder-unlocked" || got[1] != "waiter-locked" {
+		t.Fatalf("order = %v", got)
+	}
+	if !m.TryLock() {
+		t.Fatal("TryLock failed on a free mutex")
+	}
+	m.Unlock(e)
+}
+
+// TestWaitGroupDoubleWaiterPanics: the single-waiter contract is enforced.
+func TestWaitGroupDoubleWaiterPanics(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	wg.Add(1)
+	e.Spawn("first", func(p *Proc) { wg.Wait(p) })
+	e.Spawn("second", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("second Wait did not panic")
+			}
+			wg.Done(e) // release the first waiter so the engine drains
+		}()
+		wg.Wait(p)
+	})
+	e.Run()
+}

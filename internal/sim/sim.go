@@ -11,10 +11,17 @@
 // same instant fire in schedule order (a strictly increasing sequence number
 // breaks ties), so simulations are deterministic by construction provided
 // callers do not let Go map iteration order influence scheduling decisions.
+//
+// The event queue is built for the hot path (DESIGN.md §9): events are small
+// values in a flat 4-ary min-heap (no per-event allocation, no interface
+// boxing), process wake-ups carry the *Proc directly instead of a closure,
+// and events scheduled for the current instant — every wake-up — go through
+// a FIFO fast queue that bypasses the heap entirely. Ordering is identical
+// to a single global queue: the dispatcher always fires the queued event
+// with the smallest (time, sequence) pair.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 )
@@ -33,6 +40,9 @@ const (
 	Second               = 1000 * Millisecond
 )
 
+// maxTime is the largest schedulable instant; Run uses it as its limit.
+const maxTime = Time(1<<62 - 1)
+
 // Milliseconds reports t as a floating-point millisecond count.
 func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
 
@@ -41,47 +51,54 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
+// event is a queued occurrence. Exactly one of proc and fn is set: proc
+// wake-ups are the dominant case and carrying the pointer here is what lets
+// every wake site schedule without allocating a closure.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	proc *Proc  // if non-nil: resume this process
+	fn   func() // otherwise: run this callback in engine context
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (at, seq): virtual time first, schedule order as the
+// deterministic tie-break.
+func (ev *event) less(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return ev.seq < o.seq
 }
 
 // Engine is the simulation executive: an event queue plus the lock-step
 // machinery that hands control between the engine goroutine and process
 // goroutines.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	yield   chan yieldMsg
-	live    int  // live (spawned, not finished) processes
-	halted  bool // set once Run/RunUntil stops delivering events
-	procIDs int  // per-engine Proc.ID source; engines must not share state
+	now Time
+	seq uint64
+	// heap is a flat 4-ary min-heap of value events ordered by (at, seq).
+	// 4-ary beats binary here: sift paths are ~half as long and the four
+	// children share a cache line's worth of adjacent slots.
+	heap []event
+	// fast is the same-instant FIFO: every queued entry has at == now, and
+	// seq increases with index, so the head is always the queue's minimum.
+	// Wake-ups (the dominant event kind) are pushed and popped here without
+	// ever touching the heap.
+	fast     []event
+	fastHead int
+	yield    chan yieldMsg
+	live     int  // live (spawned, not finished) processes
+	halted   bool // RunUntil hit its limit; scheduling now panics until the next run
+	procIDs  int  // per-engine Proc.ID source; engines must not share state
 }
 
 // Live reports the number of spawned processes that have not finished.
 func (e *Engine) Live() int { return e.live }
+
+// Halted reports whether the last RunUntil stopped at its limit (leaving
+// events queued) rather than draining the queue. A halted engine rejects new
+// events until Run/RunUntil/RunWhile is called again.
+func (e *Engine) Halted() bool { return e.halted }
 
 type yieldMsg struct {
 	done   bool        // process function returned
@@ -97,18 +114,141 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run in engine context at time t. Scheduling in the past
-// panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) {
+// checkSchedulable panics on the two scheduling errors that would otherwise
+// corrupt causality silently: scheduling in the past, and scheduling into a
+// halted engine (after RunUntil froze the simulation, e.g. for a crash
+// snapshot, nothing should be appending events).
+func (e *Engine) checkSchedulable(t Time) {
+	if e.halted {
+		panic(fmt.Sprintf("sim: scheduling event at %v after engine halted", t))
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+}
+
+// push queues ev, routing same-instant events to the fast FIFO. The fast
+// queue preserves global (at, seq) order because all its entries share
+// at == now and are appended in seq order; pop compares its head against the
+// heap top before firing.
+func (e *Engine) push(ev event) {
+	if ev.at == e.now {
+		e.fast = append(e.fast, ev)
+		return
+	}
+	e.heapPush(ev)
+}
+
+// At schedules fn to run in engine context at time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	e.checkSchedulable(t)
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run in engine context d from now.
 func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// scheduleProc schedules p to resume at time t. This is the allocation-free
+// wake path: the event carries the proc pointer, no closure is created.
+func (e *Engine) scheduleProc(t Time, p *Proc) {
+	e.checkSchedulable(t)
+	e.seq++
+	e.push(event{at: t, seq: e.seq, proc: p})
+}
+
+// wake schedules p to resume at the current instant.
+func (e *Engine) wake(p *Proc) { e.scheduleProc(e.now, p) }
+
+// heapPush inserts ev into the 4-ary heap.
+func (e *Engine) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h[i].less(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// heapPop removes and returns the heap minimum.
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/proc references
+	h = h[:n]
+	e.heap = h
+	i := 0
+	for {
+		min := i
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if h[c].less(&h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// peek returns the (at, seq) of the next event to fire, if any.
+func (e *Engine) peek() (Time, bool) {
+	hasFast := e.fastHead < len(e.fast)
+	hasHeap := len(e.heap) > 0
+	switch {
+	case hasFast && hasHeap:
+		f, h := &e.fast[e.fastHead], &e.heap[0]
+		if h.less(f) {
+			return h.at, true
+		}
+		return f.at, true
+	case hasFast:
+		return e.fast[e.fastHead].at, true
+	case hasHeap:
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
+// pop removes and returns the globally next event: the fast-queue head wins
+// unless the heap top has the same timestamp and a smaller sequence number
+// (an earlier-scheduled event at the same instant that went through the heap
+// before the instant became "now").
+func (e *Engine) pop() event {
+	if e.fastHead < len(e.fast) {
+		f := &e.fast[e.fastHead]
+		if len(e.heap) == 0 || !e.heap[0].less(f) {
+			ev := *f
+			*f = event{} // drop fn/proc references
+			e.fastHead++
+			if e.fastHead == len(e.fast) {
+				e.fast = e.fast[:0]
+				e.fastHead = 0
+			}
+			return ev
+		}
+	}
+	return e.heapPop()
+}
 
 // Proc is a simulated process: a goroutine that runs only when the engine
 // resumes it and always parks itself back before the engine continues.
@@ -144,7 +284,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.At(e.now, func() { e.runProc(p) })
+	e.wake(p)
 	return p
 }
 
@@ -161,39 +301,45 @@ func (e *Engine) runProc(p *Proc) {
 }
 
 // Run executes events until the event queue is empty.
-func (e *Engine) Run() { e.RunUntil(Time(1<<62 - 1)) }
+func (e *Engine) Run() { e.RunUntil(maxTime) }
 
 // RunUntil executes events with timestamps <= limit, then stops, leaving the
 // remaining queue intact. Processes that are parked simply never resume;
 // their goroutines are garbage once the Engine is dropped (each is blocked
 // on a private channel). This is how crash-injection tests freeze a system
-// mid-flight.
-func (e *Engine) RunUntil(limit Time) {
-	for len(e.events) > 0 {
-		ev := e.events[0]
-		if ev.at > limit {
-			e.halted = true
-			return
-		}
-		heap.Pop(&e.events)
-		e.now = ev.at
-		ev.fn()
-	}
-}
+// mid-flight. Stopping at the limit marks the engine halted (see Halted);
+// calling Run/RunUntil/RunWhile again clears the mark and resumes delivery.
+func (e *Engine) RunUntil(limit Time) { e.run(limit, nil) }
 
 // RunWhile executes events for as long as cond() holds and events remain.
 // It lets callers run a workload to completion while daemon processes (the
 // syncer) keep scheduling events forever.
-func (e *Engine) RunWhile(cond func() bool) {
-	for len(e.events) > 0 && cond() {
-		ev := heap.Pop(&e.events).(*event)
+func (e *Engine) RunWhile(cond func() bool) { e.run(maxTime, cond) }
+
+// run is the single dispatch loop behind Run, RunUntil and RunWhile.
+func (e *Engine) run(limit Time, cond func() bool) {
+	e.halted = false
+	for cond == nil || cond() {
+		at, ok := e.peek()
+		if !ok {
+			return // queue drained
+		}
+		if at > limit {
+			e.halted = true
+			return
+		}
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.proc != nil {
+			e.runProc(ev.proc)
+		} else {
+			ev.fn()
+		}
 	}
 }
 
 // Pending reports the number of queued events (useful in tests).
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) + len(e.fast) - e.fastHead }
 
 // block parks the calling process goroutine and hands control back to the
 // engine. The caller must already have arranged for something to resume it.
@@ -208,7 +354,7 @@ func (p *Proc) Sleep(d Duration) {
 		panic("sim: negative sleep")
 	}
 	e := p.eng
-	e.At(e.now+d, func() { e.runProc(p) })
+	e.scheduleProc(e.now+d, p)
 	p.block()
 }
 
@@ -247,21 +393,36 @@ func (c *Completion) Fired() bool { return c.fired }
 
 // Fire marks the completion done and wakes all waiters at the current time.
 // Firing twice panics — it always indicates a bookkeeping bug upstream.
+// The waiter and callback slices keep their capacity (entries are nilled
+// out) so a Reset completion reuses them allocation-free.
 func (c *Completion) Fire(e *Engine) {
 	if c.fired {
 		panic("sim: Completion fired twice")
 	}
 	c.fired = true
 	c.FiredAt = e.Now()
-	for _, fn := range c.callbacks {
+	for i, fn := range c.callbacks {
+		c.callbacks[i] = nil
 		fn()
 	}
-	c.callbacks = nil
-	for _, p := range c.waiters {
-		pp := p
-		e.At(e.Now(), func() { e.runProc(pp) })
+	c.callbacks = c.callbacks[:0]
+	for i, p := range c.waiters {
+		c.waiters[i] = nil
+		e.wake(p)
 	}
-	c.waiters = nil
+	c.waiters = c.waiters[:0]
+}
+
+// Reset returns a fired completion to the unfired state so its owner can
+// reuse it (the device driver's request pool does). Resetting an unfired
+// completion panics: parked waiters or registered callbacks would be
+// silently dropped.
+func (c *Completion) Reset() {
+	if !c.fired {
+		panic("sim: Reset of unfired Completion")
+	}
+	c.fired = false
+	c.FiredAt = 0
 }
 
 // Wait blocks p until the completion fires (returns at once if it already
@@ -272,6 +433,18 @@ func (c *Completion) Wait(p *Proc) {
 	}
 	c.waiters = append(c.waiters, p)
 	p.block()
+}
+
+// dequeue removes and returns the head of a FIFO waiter list, keeping the
+// slice's capacity (the lists are tiny — a handful of simulated users — so
+// the copy is cheaper than letting append reallocate forever).
+func dequeue(waiters *[]*Proc) *Proc {
+	w := *waiters
+	head := w[0]
+	n := copy(w, w[1:])
+	w[n] = nil
+	*waiters = w[:n]
+	return head
 }
 
 // Mutex is a virtual-time mutual-exclusion lock with FIFO handoff.
@@ -311,10 +484,8 @@ func (m *Mutex) Unlock(e *Engine) {
 		m.held = false
 		return
 	}
-	next := m.waiters[0]
-	m.waiters = m.waiters[1:]
-	// Lock stays held; next now owns it.
-	e.At(e.Now(), func() { e.runProc(next) })
+	// Lock stays held; the dequeued waiter now owns it.
+	e.wake(dequeue(&m.waiters))
 }
 
 // CPU models a single time-shared processor. Use charges virtual CPU time
@@ -373,9 +544,7 @@ func (c *CPU) release(e *Engine) {
 		c.busy = false
 		return
 	}
-	next := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	e.At(e.Now(), func() { e.runProc(next) })
+	e.wake(dequeue(&c.waiters))
 }
 
 // WaitGroup lets one process wait for N completions (used to join the
@@ -398,7 +567,7 @@ func (w *WaitGroup) Done(e *Engine) {
 	if w.n == 0 && w.waiter != nil {
 		p := w.waiter
 		w.waiter = nil
-		e.At(e.Now(), func() { e.runProc(p) })
+		e.wake(p)
 	}
 }
 

@@ -149,6 +149,7 @@ func (a Andrew) Run(p *sim.Proc, fs *ffs.FS, parent ffs.Ino) (AndrewTimes, error
 	// objects and writes the binary.
 	start = p.Now()
 	perFile := a.CompileCPU
+	objData := make([]byte, a.FileBytes*2) // object-file payload scratch, refilled per file
 	for i, ino := range files {
 		exec()
 		var off uint64
@@ -167,7 +168,8 @@ func (a Andrew) Run(p *sim.Proc, fs *ffs.FS, parent ffs.Ino) (AndrewTimes, error
 		if err != nil {
 			return t, err
 		}
-		if err := fs.WriteAt(p, obj, 0, content(1000+i, a.FileBytes*2)); err != nil {
+		fillContent(objData, 1000+i)
+		if err := fs.WriteAt(p, obj, 0, objData); err != nil {
 			return t, err
 		}
 	}

@@ -44,7 +44,11 @@ type sdetCommand struct {
 	run    func(s *sdetScript, p *sim.Proc) error
 }
 
-// sdetScript is the per-script execution state.
+// sdetScript is the per-script execution state. buf and data are the
+// script's scratch blocks — each script runs on one proc, so reads land in
+// buf and write payloads are staged in data without per-command
+// allocation. They stay distinct because the edit command reads into buf
+// while writing fresh content.
 type sdetScript struct {
 	fs    *ffs.FS
 	cpu   *sim.CPU
@@ -53,11 +57,24 @@ type sdetScript struct {
 	seq   int
 	files []string // files currently existing in the home directory
 	cfg   Sdet
+	buf   []byte // read scratch
+	data  []byte // write-payload scratch
 }
 
 func (s *sdetScript) newName(prefix string) string {
 	s.seq++
 	return fmt.Sprintf("%s%d", prefix, s.seq)
+}
+
+// fill returns n bytes of the deterministic content pattern for the
+// script's current seq, staged in the reusable payload scratch.
+func (s *sdetScript) fill(n int) []byte {
+	if n > len(s.data) {
+		s.data = make([]byte, n)
+	}
+	b := s.data[:n]
+	fillContent(b, s.seq)
+	return b
 }
 
 func (s *sdetScript) pickFile() (string, bool) {
@@ -78,7 +95,7 @@ var sdetMix = []sdetCommand{
 			return err
 		}
 		s.files = append(s.files, name)
-		return s.fs.WriteAt(p, ino, 0, content(s.seq, 500+s.rng.Intn(4000)))
+		return s.fs.WriteAt(p, ino, 0, s.fill(500+s.rng.Intn(4000)))
 	}},
 	{"edit", 20, func(s *sdetScript, p *sim.Proc) error { // read-modify-write
 		name, ok := s.pickFile()
@@ -89,10 +106,9 @@ var sdetMix = []sdetCommand{
 		if err != nil {
 			return nil
 		}
-		buf := make([]byte, 8192)
-		n, _ := s.fs.ReadAt(p, ino, 0, buf)
+		n, _ := s.fs.ReadAt(p, ino, 0, s.buf)
 		s.cpu.Use(p, 10*sim.Millisecond) // editor startup + buffer work
-		return s.fs.WriteAt(p, ino, uint64(n), content(s.seq, 512))
+		return s.fs.WriteAt(p, ino, uint64(n), s.fill(512))
 	}},
 	{"rm", 10, func(s *sdetScript, p *sim.Proc) error {
 		if len(s.files) == 0 {
@@ -118,9 +134,8 @@ var sdetMix = []sdetCommand{
 			return err
 		}
 		s.files = append(s.files, dst)
-		buf := make([]byte, 8192)
-		n, _ := s.fs.ReadAt(p, src, 0, buf)
-		return s.fs.WriteAt(p, ino, 0, buf[:n])
+		n, _ := s.fs.ReadAt(p, src, 0, s.buf)
+		return s.fs.WriteAt(p, ino, 0, s.buf[:n])
 	}},
 	{"cc", 8, func(s *sdetScript, p *sim.Proc) error { // small compile
 		name, ok := s.pickFile()
@@ -131,8 +146,7 @@ var sdetMix = []sdetCommand{
 		if err != nil {
 			return nil
 		}
-		buf := make([]byte, 8192)
-		s.fs.ReadAt(p, ino, 0, buf)
+		s.fs.ReadAt(p, ino, 0, s.buf)
 		s.cpu.Use(p, 300*sim.Millisecond)
 		obj := s.newName("o")
 		oino, err := s.fs.Create(p, s.home, obj)
@@ -140,7 +154,7 @@ var sdetMix = []sdetCommand{
 			return err
 		}
 		s.files = append(s.files, obj)
-		return s.fs.WriteAt(p, oino, 0, content(s.seq, 6000))
+		return s.fs.WriteAt(p, oino, 0, s.fill(6000))
 	}},
 	{"ls", 15, func(s *sdetScript, p *sim.Proc) error {
 		ents, err := s.fs.ReadDir(p, s.home)
@@ -151,7 +165,7 @@ var sdetMix = []sdetCommand{
 		return nil
 	}},
 	{"grep", 12, func(s *sdetScript, p *sim.Proc) error { // read a few files
-		buf := make([]byte, 8192)
+		buf := s.buf
 		for i := 0; i < 3; i++ {
 			name, ok := s.pickFile()
 			if !ok {
@@ -230,6 +244,8 @@ func (cfg Sdet) RunScript(p *sim.Proc, fs *ffs.FS, parent ffs.Ino, binDir ffs.In
 		rng:  rand.New(rand.NewSource(cfg.Seed + int64(scriptID)*7919)),
 		home: home,
 		cfg:  cfg,
+		buf:  make([]byte, 8192),
+		data: make([]byte, 8192),
 	}
 	total := 0
 	for _, c := range sdetMix {

@@ -80,12 +80,19 @@ func (ts TreeSpec) Sizes() []int {
 // content fills a deterministic pattern derived from the file index.
 func content(idx, n int) []byte {
 	b := make([]byte, n)
+	fillContent(b, idx)
+	return b
+}
+
+// fillContent writes the deterministic pattern for file idx into b —
+// the in-place form lets tree builders reuse one scratch buffer across
+// all files instead of allocating per file.
+func fillContent(b []byte, idx int) {
 	x := uint32(idx)*2654435761 + 12345
 	for i := range b {
 		x = x*1664525 + 1013904223
 		b[i] = byte(x >> 24)
 	}
-	return b
 }
 
 // Build creates the tree under parent/name and returns its root directory.
@@ -105,13 +112,24 @@ func (ts TreeSpec) Build(p *sim.Proc, fs *ffs.FS, parent ffs.Ino, name string) (
 		dirs = append(dirs, nd)
 	}
 	sizes := ts.Sizes()
+	maxSize := 0
+	for _, size := range sizes {
+		if size > maxSize {
+			maxSize = size
+		}
+	}
+	// One scratch buffer serves every file: WriteAt copies the payload
+	// into cache blocks, so the buffer is dead once the call returns.
+	scratch := make([]byte, maxSize)
 	for i, size := range sizes {
 		dir := dirs[i%len(dirs)]
 		ino, err := fs.Create(p, dir, fmt.Sprintf("file%04d", i))
 		if err != nil {
 			return 0, err
 		}
-		if err := fs.WriteAt(p, ino, 0, content(i, size)); err != nil {
+		data := scratch[:size]
+		fillContent(data, i)
+		if err := fs.WriteAt(p, ino, 0, data); err != nil {
 			return 0, err
 		}
 	}
@@ -132,22 +150,24 @@ func CopyTree(p *sim.Proc, fs *ffs.FS, srcParent ffs.Ino, srcName string, dstPar
 	if err != nil {
 		return err
 	}
-	return copyDir(p, fs, src, dst)
+	// The copy scratch block is shared down the recursion: ReadAt fills it
+	// and WriteAt copies it out, so no call retains a reference.
+	buf := make([]byte, ffs.BlockSize)
+	return copyDir(p, fs, src, dst, buf)
 }
 
-func copyDir(p *sim.Proc, fs *ffs.FS, src, dst ffs.Ino) error {
+func copyDir(p *sim.Proc, fs *ffs.FS, src, dst ffs.Ino, buf []byte) error {
 	ents, err := fs.ReadDir(p, src)
 	if err != nil {
 		return err
 	}
-	buf := make([]byte, ffs.BlockSize)
 	for _, e := range ents {
 		if e.Ftype == ffs.FtypeDir {
 			nd, err := fs.Mkdir(p, dst, e.Name)
 			if err != nil {
 				return err
 			}
-			if err := copyDir(p, fs, e.Ino, nd); err != nil {
+			if err := copyDir(p, fs, e.Ino, nd, buf); err != nil {
 				return err
 			}
 			continue
