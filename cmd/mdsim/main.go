@@ -39,6 +39,7 @@ func main() {
 	jobs := flag.Int("j", 0, "max simulation cells in flight (0: GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "also write a machine-readable report to this file")
 	list := flag.Bool("list", false, "list available experiments")
+	faults := flag.Bool("faults", false, "run the fault-injection recovery sweep (per-scheme crash recovery on a faulty disk)")
 	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram)")
 	csvPath := flag.String("csv", "", "with -trace: also write the raw per-request trace as CSV to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -78,6 +79,22 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "[wrote allocation profile to %s]\n", path)
 		}()
+	}
+
+	if *faults {
+		// The fault sweep is an opt-in diagnostic, not one of the paper's
+		// exhibits, so it lives outside -exp/-list. Cells run on the same
+		// memoizing runner; stdout is byte-identical for any -j.
+		runner := harness.NewRunner(*jobs)
+		cfg := harness.DefaultConfig(os.Stdout)
+		cfg.Runner = runner
+		for _, t := range harness.FaultRecoveryExhibit.Tables(cfg) {
+			t.Fprint(os.Stdout)
+		}
+		st := runner.Stats()
+		fmt.Fprintf(os.Stderr, "[faults: %d cells simulated, %d memo hits, %d workers]\n",
+			st.Executed, st.Hits, st.Workers)
+		return
 	}
 
 	if *traceScheme != "" {

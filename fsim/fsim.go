@@ -25,10 +25,23 @@ import (
 	"metaupdate/internal/core"
 	"metaupdate/internal/dev"
 	"metaupdate/internal/disk"
+	"metaupdate/internal/fault"
 	"metaupdate/internal/ffs"
 	"metaupdate/internal/nvram"
 	"metaupdate/internal/ordering"
 	"metaupdate/internal/sim"
+)
+
+// FaultSpec re-exports the fault plan parameters (see internal/fault).
+type FaultSpec = fault.Spec
+
+// Errors a faulted disk can surface through file system operations.
+var (
+	// ErrIO: the driver exhausted its retry budget on a transient/torn
+	// fault.
+	ErrIO = dev.ErrIO
+	// ErrBadSector: a permanently bad sector could not be read or remapped.
+	ErrBadSector = dev.ErrBadSector
 )
 
 // Re-exported core types, so most callers need only this package.
@@ -144,6 +157,18 @@ type Options struct {
 	SyncerFraction int // cache sweeps per full pass (default 30)
 	Costs          ffs.Costs
 	DiskParams     *disk.Params
+
+	// Faults selects the deterministic fault plan injected at the media
+	// layer (transient errors, permanent bad sectors, torn writes, latency
+	// spikes). The zero value is a fault-free disk, byte-identical to runs
+	// built before fault injection existed.
+	Faults fault.Spec
+	// MaxRetries / RetryBackoff / SpareSectors tune the driver's recovery
+	// machinery (zero values take the dev package defaults). They only
+	// matter when Faults is enabled.
+	MaxRetries   int
+	RetryBackoff Duration
+	SpareSectors int
 }
 
 func (o *Options) setDefaults() {
@@ -236,7 +261,15 @@ func New(opt Options) (*System, error) {
 	if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: opt.FSBytes, NInodes: opt.NInodes}); err != nil {
 		return nil, err
 	}
+	dcfg.MaxRetries = opt.MaxRetries
+	dcfg.RetryBackoff = opt.RetryBackoff
+	dcfg.SpareSectors = opt.SpareSectors
 	drv := dev.New(eng, dsk, dcfg)
+	if opt.Faults.Enabled() {
+		// The plan is compiled after Format, so the bad-sector set is a pure
+		// function of (spec, disk size) and independent of mkfs traffic.
+		dsk.SetFaults(fault.New(opt.Faults, dsk.Sectors()), opt.SpareSectors)
+	}
 	cpu := &sim.CPU{}
 	c := cache.New(eng, drv, cpu, cache.Config{
 		MaxBytes:       opt.CacheBytes,
@@ -327,7 +360,16 @@ type Stats struct {
 	AvgResponseMS float64 // paper's "driver response time"
 	CacheHits     int64
 	CacheMisses   int64
+	// Faults is the driver's cumulative recovery activity (not windowed by
+	// ResetStats; all zero on a fault-free disk).
+	Faults dev.FaultStats
+	// LostWrites counts dirty buffers the cache abandoned after repeated
+	// write failures (cumulative; the graceful-degradation data-loss path).
+	LostWrites int64
 }
+
+// FaultStats re-exports the driver's fault counters.
+type FaultStats = dev.FaultStats
 
 // ResetStats clears the measurement window.
 func (s *System) ResetStats() {
@@ -347,5 +389,7 @@ func (s *System) CollectStats() Stats {
 		AvgResponseMS: s.Driver.Trace.AvgResponseMS(),
 		CacheHits:     s.Cache.Hits,
 		CacheMisses:   s.Cache.Misses,
+		Faults:        s.Driver.Faults,
+		LostWrites:    s.Cache.LostWrites,
 	}
 }

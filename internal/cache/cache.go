@@ -55,6 +55,15 @@ type Buf struct {
 	// with pending dependencies "resident and dirty").
 	Pinned bool
 
+	// readErr records a failed fill: the buffer is removed from the cache
+	// but waiters already holding the pointer must see the error, not
+	// zeroed bytes.
+	readErr error
+	// writeFails counts consecutive failed writes of this buffer; bounded
+	// retry via re-dirtying, after which the buffer is dropped (data loss,
+	// counted in Cache.LostWrites) rather than wedging the syncer forever.
+	writeFails int
+
 	// hold is the reference count of operations currently using the
 	// buffer (the classic B_BUSY/refcount role): held buffers are never
 	// evicted, so a pointer obtained from Bread/Getblk stays valid across
@@ -171,8 +180,12 @@ type Cache struct {
 	Hits, Misses int64
 	WritesIssued int64
 	ReadsIssued  int64
-	syncerRound  int
-	syncerStop   bool
+	// Fault-path stats (all zero on a clean disk).
+	ReadErrors  int64 // Bread fills that completed with an error
+	WriteErrors int64 // buffer writes that completed with an error
+	LostWrites  int64 // dirty buffers dropped after maxWriteFails failures
+	syncerRound int
+	syncerStop  bool
 }
 
 // New returns a cache over drv. cpu is charged for block copies.
@@ -229,8 +242,9 @@ func (c *Cache) waitAccessible(p *sim.Proc, b *Buf) {
 
 // Bread returns the buffer for nfrags fragments starting at frag, reading
 // from disk on a miss. The returned buffer's Data is valid and up to date
-// with respect to scheme redo state.
-func (c *Cache) Bread(p *sim.Proc, frag int64, nfrags int) *Buf {
+// with respect to scheme redo state. On a media error (faulted disk) it
+// returns the driver's error and no buffer.
+func (c *Cache) Bread(p *sim.Proc, frag int64, nfrags int) (*Buf, error) {
 	b := c.bufs[frag]
 	if b != nil && b.NFrags() != nfrags {
 		panic(fmt.Sprintf("cache: Bread(%d,%d) conflicts with resident buffer of %d frags",
@@ -239,9 +253,14 @@ func (c *Cache) Bread(p *sim.Proc, frag int64, nfrags int) *Buf {
 	if b != nil {
 		c.Hits++
 		c.waitAccessible(p, b)
+		if b.readErr != nil {
+			// The fill this waiter piggybacked on failed; the buffer is
+			// already gone from the cache.
+			return nil, b.readErr
+		}
 		b.lastUse = c.eng.Now()
 		c.Hooks.OnAccess(b)
-		return b
+		return b, nil
 	}
 	c.Misses++
 	b = &Buf{Frag: frag, Data: make([]byte, nfrags*FragSize), lastUse: c.eng.Now()}
@@ -260,13 +279,21 @@ func (c *Cache) Bread(p *sim.Proc, frag int64, nfrags int) *Buf {
 	c.drv.Submit(req)
 	c.ReadsIssued++
 	req.Done.Wait(p)
+	err := req.Err
 	c.drv.Release(req)
 	r := b.reading
 	b.reading = nil
+	if err != nil {
+		c.ReadErrors++
+		b.readErr = err
+		c.remove(b)
+		r.Fire(c.eng)
+		return nil, err
+	}
 	r.Fire(c.eng)
 	b.lastUse = c.eng.Now()
 	c.Hooks.OnAccess(b)
-	return b
+	return b, nil
 }
 
 // Getblk returns a buffer for a range about to be fully overwritten (no
@@ -314,13 +341,15 @@ func (c *Cache) Bawrite(p *sim.Proc, b *Buf) *dev.Request {
 
 // Bwrite guarantees b's current contents are on stable storage before
 // returning: it issues a synchronous write, waiting out (and then
-// superseding) any write already in flight.
-func (c *Cache) Bwrite(p *sim.Proc, b *Buf) {
+// superseding) any write already in flight. A non-nil error means the
+// driver exhausted its recovery options and the contents are NOT durable
+// (the buffer has been re-dirtied for a bounded number of later retries).
+func (c *Cache) Bwrite(p *sim.Proc, b *Buf) error {
 	for {
 		req := c.issueWrite(p, b)
 		if req != nil {
 			req.Done.Wait(p)
-			return
+			return req.Err
 		}
 		// A write was already in flight (issued before this call, possibly
 		// without the caller's ordering state); wait it out and reissue.
@@ -328,7 +357,7 @@ func (c *Cache) Bwrite(p *sim.Proc, b *Buf) {
 			b.writing.Wait(p)
 		}
 		if !b.Dirty {
-			return
+			return nil
 		}
 	}
 }
@@ -437,7 +466,27 @@ func (c *Cache) issueWrite(p *sim.Proc, b *Buf) *dev.Request {
 		if done2 != nil {
 			b.writing = nil
 		}
-		c.Hooks.WriteDone(b, req)
+		if req.Err != nil {
+			// The write never (fully) reached the media. Scheme completion
+			// hooks are skipped — WriteDone means "the bytes are durable",
+			// and they are not. The buffer is re-dirtied so the syncer
+			// retries, a bounded number of times: a write that keeps
+			// failing (exhausted spare pool) is eventually dropped and
+			// counted rather than wedging SyncAll forever.
+			c.WriteErrors++
+			b.writeFails++
+			if !b.invalid {
+				if b.writeFails <= maxWriteFails {
+					b.Dirty = true
+				} else {
+					c.LostWrites++
+					b.Dirty = false
+				}
+			}
+		} else {
+			b.writeFails = 0
+			c.Hooks.WriteDone(b, req)
+		}
 		if b.invalid && b.writing == nil && b.cbInflight == 0 {
 			c.remove(b)
 		}
@@ -447,6 +496,11 @@ func (c *Cache) issueWrite(p *sim.Proc, b *Buf) *dev.Request {
 	})
 	return req
 }
+
+// maxWriteFails bounds consecutive failed writes of one buffer before its
+// contents are abandoned (graceful degradation: fsck's repair pass is the
+// backstop for whatever inconsistency the loss introduces).
+const maxWriteFails = 4
 
 // getSnapshot returns a len == nfrags*FragSize buffer for a -CB write
 // snapshot, reusing a retired one of the same size class when available.

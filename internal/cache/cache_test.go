@@ -36,11 +36,11 @@ func TestBreadMissAndHit(t *testing.T) {
 	want := bytes.Repeat([]byte{0x42}, 2*FragSize)
 	dsk.Commit(lbnOf(100), want)
 	runIn(eng, func(p *sim.Proc) {
-		b := c.Bread(p, 100, 2)
+		b, _ := c.Bread(p, 100, 2)
 		if !bytes.Equal(b.Data, want) {
 			t.Error("miss read wrong data")
 		}
-		b2 := c.Bread(p, 100, 2)
+		b2, _ := c.Bread(p, 100, 2)
 		if b2 != b {
 			t.Error("hit returned a different buffer")
 		}
@@ -69,7 +69,7 @@ func TestConcurrentBreadSingleIO(t *testing.T) {
 	got := 0
 	for i := 0; i < 3; i++ {
 		eng.Spawn("reader", func(p *sim.Proc) {
-			b := c.Bread(p, 50, 1)
+			b, _ := c.Bread(p, 50, 1)
 			if b.Data[0] == 9 {
 				got++
 			}
@@ -343,7 +343,7 @@ func TestHooksRollbackSubstitutesSource(t *testing.T) {
 	})
 	eng.Spawn("reader", func(p *sim.Proc) {
 		p.Sleep(10 * sim.Microsecond)
-		b := c.Bread(p, 10, 1)
+		b, _ := c.Bread(p, 10, 1)
 		seen = b.Data[0]
 	})
 	eng.Run()

@@ -44,6 +44,7 @@ import (
 
 	"metaupdate/internal/dev"
 	"metaupdate/internal/disk"
+	"metaupdate/internal/fsck"
 	"metaupdate/internal/sim"
 )
 
@@ -78,10 +79,20 @@ func (n *node) applyPrefix(img []byte, sectors int) {
 	copy(img[n.lbn*disk.SectorSize:], n.data[:sectors*disk.SectorSize])
 }
 
-// event is one timeline step: a submission or a completion batch.
+// event is one timeline step: a submission, a completion batch, a torn
+// batch prefix landing on the media, or a batch failing with an error.
 type event struct {
 	submit   uint64 // non-zero: ID of the submitted request
 	complete []uint64
+	// torn, when non-nil, lists a faulted write batch in transfer (LBN)
+	// order; tornSec sectors of the batch landed before the fault. The
+	// requests stay pending — the driver will retry or fail them later.
+	torn    []uint64
+	tornSec int
+	// failed, when non-nil, lists requests that completed with an error:
+	// nothing (beyond earlier torn prefixes) reached the media, and their
+	// successors are no longer constrained by them.
+	failed []uint64
 }
 
 // Recorder captures a driver's write timeline for later exploration.
@@ -93,6 +104,8 @@ type Recorder struct {
 	events  []event
 	writes  int
 	sectors int64
+	torn    int          // BatchTorn events observed
+	failed  int          // requests that completed with an error
 	hseed   maphash.Seed // content-fingerprint seed, one per recording
 }
 
@@ -163,6 +176,23 @@ func (r *Recorder) RequestsCompleted(ids []uint64, at sim.Time) {
 	}
 }
 
+// BatchTorn implements dev.FaultObserver: a faulted write batch committed
+// its first sectors sectors (in transfer order) before stopping. The torn
+// prefix is a new crash atom — the media changed while every request in
+// the batch stays pending.
+func (r *Recorder) BatchTorn(ids []uint64, sectors int, at sim.Time) {
+	r.torn++
+	r.events = append(r.events, event{torn: append([]uint64(nil), ids...), tornSec: sectors})
+}
+
+// RequestsFailed implements dev.FaultObserver: the requests gave up with an
+// error. Their full contents never landed and they stop constraining their
+// successors (the driver unblocks dependents of a failed request).
+func (r *Recorder) RequestsFailed(ids []uint64, at sim.Time) {
+	r.failed += len(ids)
+	r.events = append(r.events, event{failed: append([]uint64(nil), ids...)})
+}
+
 // Writes reports the number of recorded write requests.
 func (r *Recorder) Writes() int { return r.writes }
 
@@ -180,6 +210,11 @@ type Config struct {
 	// CheckContent additionally runs fsck.ContentViolations on each image
 	// (for workloads that stamp file data with fsck.MakeStampedData).
 	CheckContent bool
+	// ExtraCheck, if set, runs an additional oracle over each image; any
+	// strings it returns are recorded as findings alongside fsck's. It is
+	// called concurrently from the checker pool and must be safe for
+	// concurrent use with distinct images.
+	ExtraCheck func(fsck.Image) []string
 	// Shrink reduces the lowest-sequence violating state to a minimal
 	// repro after the sweep.
 	Shrink bool
@@ -213,9 +248,11 @@ func (c *Config) setDefaults(defaultWorkers int) {
 // Stats counts an exploration, pFSCK-style: how much state space was
 // covered and how fast the parallel checkers got through it.
 type Stats struct {
-	Requests int `json:"requests"` // recorded requests (reads + writes)
-	Writes   int `json:"writes"`   // recorded writes
-	Instants int `json:"instants"` // crash instants enumerated
+	Requests int `json:"requests"`         // recorded requests (reads + writes)
+	Writes   int `json:"writes"`           // recorded writes
+	Instants int `json:"instants"`         // crash instants enumerated
+	Torn     int `json:"torn,omitempty"`   // torn-batch events in the timeline
+	Failed   int `json:"failed,omitempty"` // requests that errored out
 
 	Explored  int64 `json:"explored"`  // crash states generated
 	Deduped   int64 `json:"deduped"`   // states skipped as duplicate images

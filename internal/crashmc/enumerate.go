@@ -122,17 +122,55 @@ func (r *Recorder) Explore(cfg Config) *Result {
 		if x.stopped {
 			break
 		}
-		if ev.submit != 0 {
+		switch {
+		case ev.submit != 0:
 			n := r.nodes[ev.submit]
 			if n == nil || !n.write {
 				continue // reads change neither media nor legal subsets
 			}
 			x.pending = append(x.pending, n)
-		} else {
-			if x.shared {
-				x.committed = append([]byte(nil), x.committed...)
-				x.shared = false
+		case ev.torn != nil:
+			// A faulted batch landed a sector prefix: the media changed but
+			// every request stays pending (the driver retries or fails them
+			// later). The committed image gains the prefix — a new crash
+			// atom — while the legal-subset machinery is untouched.
+			x.unshare()
+			left := ev.tornSec
+			for _, id := range ev.torn {
+				if left <= 0 {
+					break
+				}
+				n := r.nodes[id]
+				if n == nil || !n.write {
+					continue
+				}
+				cnt := n.count
+				if cnt > left {
+					cnt = left
+				}
+				n.applyPrefix(x.committed, cnt)
+				for i := 0; i < cnt; i++ {
+					x.swapSector(n.lbn+int64(i), n.sech[i])
+				}
+				// A synthetic done entry keeps shrink's base+doneOrder
+				// replay byte-exact for faulted timelines.
+				x.doneOrder = append(x.doneOrder, &node{
+					id: n.id, write: true, lbn: n.lbn, count: cnt,
+					data: n.data[:cnt*disk.SectorSize], sech: n.sech[:cnt],
+				})
+				left -= n.count
 			}
+		case ev.failed != nil:
+			// Errored requests resolve without their data landing: they
+			// leave the pending set and stop constraining successors (the
+			// driver unblocks dependents of a failed request), so doneSet
+			// here means "resolved", not "durable".
+			for _, id := range ev.failed {
+				x.removePending(id)
+				x.doneSet[id] = struct{}{}
+			}
+		default:
+			x.unshare()
 			for _, id := range ev.complete {
 				n := r.nodes[id]
 				if n == nil || !n.write {
@@ -140,12 +178,7 @@ func (r *Recorder) Explore(cfg Config) *Result {
 				}
 				n.apply(x.committed)
 				for i := 0; i < n.count; i++ {
-					s := n.lbn + int64(i)
-					if old, ok := x.doneSec[s]; ok {
-						x.doneXor ^= mix(s, old)
-					}
-					x.doneXor ^= mix(s, n.sech[i])
-					x.doneSec[s] = n.sech[i]
+					x.swapSector(n.lbn+int64(i), n.sech[i])
 				}
 				x.doneSet[id] = struct{}{}
 				x.doneOrder = append(x.doneOrder, n)
@@ -163,6 +196,8 @@ func (r *Recorder) Explore(cfg Config) *Result {
 			Requests:  len(r.nodes),
 			Writes:    r.writes,
 			Instants:  x.instant + 1,
+			Torn:      r.torn,
+			Failed:    r.failed,
 			Explored:  x.explored,
 			Deduped:   x.preDeduped,
 			Checked:   pool.checked.Load(),
@@ -211,6 +246,24 @@ func (x *explorer) signature(subset []*node, partial *node, psec int) uint64 {
 		claim(subset[i], subset[i].count)
 	}
 	return sig
+}
+
+// unshare gives the explorer a private committed image before mutating it
+// (emitted jobs hold references to the previous snapshot).
+func (x *explorer) unshare() {
+	if x.shared {
+		x.committed = append([]byte(nil), x.committed...)
+		x.shared = false
+	}
+}
+
+// swapSector replaces sector s's contribution to the committed signature.
+func (x *explorer) swapSector(s int64, h uint64) {
+	if old, ok := x.doneSec[s]; ok {
+		x.doneXor ^= mix(s, old)
+	}
+	x.doneXor ^= mix(s, h)
+	x.doneSec[s] = h
 }
 
 func (x *explorer) removePending(id uint64) {
@@ -408,7 +461,7 @@ func (cp *checkerPool) run(jobs <-chan job) {
 	ov := &overlay{delta: make(map[int64][]byte)}
 	for j := range jobs {
 		ov.load(&j)
-		findings := checkImage(ov, cp.cfg.CheckContent)
+		findings := checkImage(ov, cp.cfg.CheckContent, cp.cfg.ExtraCheck)
 		cp.checked.Add(1)
 		if len(findings) == 0 {
 			continue
@@ -462,7 +515,7 @@ func (cp *checkerPool) takeViolations() []Violation {
 // overlay — and returns the rule violations as strings. A panic inside
 // fsck (a corrupted superblock leading it somewhere unmapped) is itself
 // reported as a violation rather than killing the sweep.
-func checkImage(img fsck.Image, content bool) (findings []string) {
+func checkImage(img fsck.Image, content bool, extra func(fsck.Image) []string) (findings []string) {
 	defer func() {
 		if p := recover(); p != nil {
 			findings = append(findings, fmt.Sprintf("fsck panicked on image: %v", p))
@@ -475,6 +528,9 @@ func checkImage(img fsck.Image, content bool) (findings []string) {
 		for _, f := range fsck.ContentViolationsImage(img) {
 			findings = append(findings, f.String())
 		}
+	}
+	if extra != nil {
+		findings = append(findings, extra(img)...)
 	}
 	return findings
 }

@@ -22,11 +22,25 @@
 package dev
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"metaupdate/internal/disk"
+	"metaupdate/internal/fault"
 	"metaupdate/internal/sim"
+)
+
+// Errors a request can complete with (Request.Err). They surface only on a
+// faulted disk: with no fault plan installed every request still succeeds.
+var (
+	// ErrIO: the command kept failing transiently (or tearing) until the
+	// driver's retry budget ran out.
+	ErrIO = errors.New("dev: unrecoverable i/o error")
+	// ErrBadSector: the range covers a permanently bad sector that could
+	// not be remapped — unreadable data (reads) or an exhausted spare pool
+	// (writes).
+	ErrBadSector = errors.New("dev: permanent bad sector")
 )
 
 // OrderMode selects how the scheduler interprets ordering information.
@@ -80,10 +94,28 @@ type Config struct {
 	// MaxConcat bounds the sectors dispatched as one concatenated disk
 	// command. 0 means DefaultMaxConcat.
 	MaxConcat int
+
+	// MaxRetries bounds the redispatch attempts after a recoverable fault
+	// (transient error, torn write). 0 means DefaultMaxRetries; negative
+	// disables retries. Remap retries (a write healed a bad sector) do not
+	// count: they always make progress.
+	MaxRetries int
+	// RetryBackoff is the virtual-time delay before the first redispatch,
+	// doubling per attempt. 0 means DefaultRetryBackoff.
+	RetryBackoff sim.Duration
+	// SpareSectors sizes the disk's bad-sector remap pool when the driver
+	// installs faults; 0 takes disk.DefaultSpareSectors.
+	SpareSectors int
 }
 
 // DefaultMaxConcat is 128 KB of sectors, a typical mid-90s transfer cap.
 const DefaultMaxConcat = 256
+
+// DefaultMaxRetries is the default per-batch retry budget.
+const DefaultMaxRetries = 4
+
+// DefaultRetryBackoff is the default base delay before a redispatch.
+const DefaultRetryBackoff = 2 * sim.Millisecond
 
 // Request is one disk request. Submit assigns ID and Done. The Data slice of
 // a write must not be modified until Done fires (the buffer cache enforces
@@ -100,6 +132,12 @@ type Request struct {
 	DependsOn []uint64 // ModeChains: request IDs that must complete first
 
 	Done *sim.Completion
+
+	// Err is the request's final outcome, set before Done fires: nil on
+	// success, ErrIO/ErrBadSector when the driver exhausted its recovery
+	// options. A failed write left nothing (new) on the media; a failed
+	// read filled nothing into Buf.
+	Err error
 
 	// Barrier bookkeeping. Instead of each request carrying the ID set it
 	// waits on (a map per request, deleted from on every completion — the
@@ -133,6 +171,7 @@ type Stat struct {
 	Service  sim.Duration // dispatch -> completion ("disk access time")
 	Response sim.Duration // submission -> completion ("driver response time")
 	CacheHit bool
+	Failed   bool // request completed with an error
 }
 
 // Trace accumulates per-request statistics.
@@ -190,10 +229,19 @@ type Driver struct {
 	batchAccess   disk.Access
 	batchDispatch sim.Time
 	batchLBN      int64
+	// batchState distinguishes an in-flight batch transferring on the media
+	// from one parked in a retry backoff — Crash must know which: a batch in
+	// backoff has already failed and commits nothing further, whereas a
+	// transferring batch commits the elapsed-time sector prefix.
+	batchState   int
+	batchRetries int
 
 	idleC   *sim.Completion
 	crashed bool
 	obs     Observer
+
+	// Faults counts the driver's fault handling (all zero on a clean disk).
+	Faults FaultStats
 
 	// Debug counters (cheap; retained for tests).
 	DbgFlaggedSubmitted int64
@@ -203,10 +251,33 @@ type Driver struct {
 	Trace Trace
 }
 
+// FaultStats counts the driver's recovery activity.
+type FaultStats struct {
+	Transient  int64 `json:"transient"`   // transient command failures seen
+	Torn       int64 `json:"torn"`        // torn writes seen (prefix committed)
+	BadSectors int64 `json:"bad_sectors"` // permanent bad-sector hits
+	Remaps     int64 `json:"remaps"`      // bad sectors healed by remapping
+	Retries    int64 `json:"retries"`     // batch redispatches
+	Errors     int64 `json:"errors"`      // requests failed to their issuers
+}
+
+// batchState values.
+const (
+	batchIdle = iota
+	batchTransferring
+	batchBackoff
+)
+
 // New returns a driver for dsk driven by eng.
 func New(eng *sim.Engine, dsk *disk.Disk, cfg Config) *Driver {
 	if cfg.MaxConcat <= 0 {
 		cfg.MaxConcat = DefaultMaxConcat
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
 	}
 	return &Driver{
 		eng:       eng,
@@ -266,6 +337,22 @@ type Observer interface {
 	RequestsCompleted(ids []uint64, at sim.Time)
 }
 
+// FaultObserver is the optional extension an Observer may implement to see
+// fault events. The crash-state model checker needs both: a torn write
+// changes the media without completing anything (a new kind of crash atom),
+// and a failed request must leave the pending set without ever being a
+// completion candidate.
+type FaultObserver interface {
+	// BatchTorn fires when a faulted write batch committed a sector prefix:
+	// `sectors` sectors, spread across the batch's requests in LBN order
+	// (ids are the write requests in that order). The requests remain
+	// pending — the driver will retry or fail them.
+	BatchTorn(ids []uint64, sectors int, at sim.Time)
+	// RequestsFailed fires when requests complete with an error: nothing
+	// (further) reached the media and they are no longer pending.
+	RequestsFailed(ids []uint64, at sim.Time)
+}
+
 // SetObserver installs (or, with nil, removes) the timeline observer.
 func (d *Driver) SetObserver(o Observer) { d.obs = o }
 
@@ -289,6 +376,7 @@ func (d *Driver) Submit(r *Request) *Request {
 	}
 	d.nextID++
 	r.ID = d.nextID
+	r.Err = nil
 	if r.Done == nil {
 		r.Done = sim.NewCompletion()
 	} else if r.Done.Fired() {
@@ -492,7 +580,6 @@ func inBatch(batch []*Request, r *Request) bool {
 
 func (d *Driver) dispatch(batch []*Request) {
 	now := d.eng.Now()
-	first := batch[0]
 	total := 0
 	for _, r := range batch {
 		total += r.Count
@@ -507,14 +594,33 @@ func (d *Driver) dispatch(batch []*Request) {
 	}
 	d.queue = out
 	d.inflight = batch
+	d.batchRetries = 0
+	d.headLBN = batch[0].LBN + int64(total)
+	d.startBatch(batch)
+}
 
-	acc := d.dsk.Plan(now, first.Op, first.LBN, total)
+// startBatch plans the media access for an in-flight batch (first dispatch
+// or a retry) and schedules its completion.
+func (d *Driver) startBatch(batch []*Request) {
+	now := d.eng.Now()
+	total := 0
+	for _, r := range batch {
+		total += r.Count
+	}
+	acc := d.dsk.Plan(now, batch[0].Op, batch[0].LBN, total)
 	d.batchAccess = acc
 	d.batchDispatch = now
-	d.batchLBN = first.LBN
-	d.headLBN = first.LBN + int64(total)
-
+	d.batchLBN = batch[0].LBN
+	d.batchState = batchTransferring
 	d.eng.At(now+acc.Service, func() { d.complete(batch, acc) })
+}
+
+func batchIDs(batch []*Request) []uint64 {
+	ids := make([]uint64, len(batch))
+	for i, r := range batch {
+		ids[i] = r.ID
+	}
+	return ids
 }
 
 func (d *Driver) complete(batch []*Request, acc disk.Access) {
@@ -522,6 +628,44 @@ func (d *Driver) complete(batch []*Request, acc disk.Access) {
 		return
 	}
 	now := d.eng.Now()
+	switch f := acc.Fault; f.Kind {
+	case fault.Torn:
+		// The write stopped after f.TornSectors sectors: commit that prefix
+		// (each sector is still atomic), tell the observer the media
+		// changed, and recover by rewriting the whole batch.
+		d.Faults.Torn++
+		d.commitBatchPrefix(batch, f.TornSectors, now)
+		d.retryOrFail(batch, ErrIO)
+		return
+	case fault.Transient:
+		// Command aborted before the transfer: nothing reached the media.
+		d.Faults.Transient++
+		d.retryOrFail(batch, ErrIO)
+		return
+	case fault.BadSector:
+		d.Faults.BadSectors++
+		if batch[0].Op == disk.Write {
+			// Sectors before the bad one are on the media (a tear at the
+			// fault point); then try to heal the sector by remapping it to
+			// a spare. A successful remap always earns a retry — it made
+			// progress — while an exhausted spare pool is unrecoverable.
+			d.commitBatchPrefix(batch, f.TornSectors, now)
+			if d.dsk.Remap(f.Sector) {
+				d.Faults.Remaps++
+				d.scheduleRetry(batch)
+				return
+			}
+			d.failBatch(batch, ErrBadSector, now)
+			return
+		}
+		// A permanently unreadable sector: retrying cannot help. Fail the
+		// requests covering it and send the rest of the batch back to the
+		// queue for a normal redispatch.
+		d.splitReadBatch(batch, f.Sector, now)
+		return
+	}
+
+	// Success (fault.None, or fault.Latency already folded into Service).
 	// Move data first: writes commit to media, reads fill buffers. Only
 	// after the media reflects the batch do we fire completions, so that
 	// completion callbacks (e.g. soft updates redo) observe committed state.
@@ -536,11 +680,7 @@ func (d *Driver) complete(batch []*Request, acc disk.Access) {
 		delete(d.pending, r.ID)
 	}
 	if d.obs != nil {
-		ids := make([]uint64, len(batch))
-		for i, r := range batch {
-			ids[i] = r.ID
-		}
-		d.obs.RequestsCompleted(ids, now)
+		d.obs.RequestsCompleted(batchIDs(batch), now)
 	}
 	for _, r := range batch {
 		for i, blocked := range r.blocks {
@@ -559,15 +699,164 @@ func (d *Driver) complete(batch []*Request, acc disk.Access) {
 		})
 	}
 	d.inflight = nil
+	d.batchState = batchIdle
 	for _, r := range batch {
 		r.Done.Fire(d.eng)
 	}
 	d.kick()
+	d.fireIdle()
+}
+
+func (d *Driver) fireIdle() {
 	if !d.Busy() && d.idleC != nil {
 		c := d.idleC
 		d.idleC = nil
 		c.Fire(d.eng)
 	}
+}
+
+// commitBatchPrefix commits the first `sectors` sectors of a write batch in
+// LBN order — the physical result of a torn or bad-sector-interrupted
+// transfer — and notifies the fault observer that the media changed while
+// the requests stay pending.
+func (d *Driver) commitBatchPrefix(batch []*Request, sectors int, at sim.Time) {
+	if sectors <= 0 {
+		return
+	}
+	left := sectors
+	lbn := d.batchLBN
+	for _, r := range batch {
+		if left <= 0 {
+			break
+		}
+		n := r.Count
+		if left < n {
+			n = left
+		}
+		d.dsk.CommitPrefix(lbn, r.Data, n)
+		left -= r.Count
+		lbn += int64(r.Count)
+	}
+	if fo, ok := d.obs.(FaultObserver); ok {
+		fo.BatchTorn(batchIDs(batch), sectors, at)
+	}
+}
+
+// retryOrFail redispatches the batch after a backoff, or fails it once the
+// retry budget is spent.
+func (d *Driver) retryOrFail(batch []*Request, err error) {
+	if d.batchRetries >= d.cfg.MaxRetries {
+		d.failBatch(batch, err, d.eng.Now())
+		return
+	}
+	d.batchRetries++
+	d.scheduleRetry(batch)
+}
+
+// scheduleRetry parks the batch in a backoff and replans it afterwards. The
+// batch stays in-flight the whole time: its requests remain pending, their
+// barrier successors stay blocked, and Done does not fire — dependents can
+// never observe a half-recovered write as durable.
+func (d *Driver) scheduleRetry(batch []*Request) {
+	d.Faults.Retries++
+	backoff := d.cfg.RetryBackoff
+	if d.batchRetries > 1 {
+		backoff <<= d.batchRetries - 1
+	}
+	d.batchState = batchBackoff
+	d.eng.At(d.eng.Now()+backoff, func() {
+		if d.crashed {
+			return
+		}
+		d.startBatch(batch)
+	})
+}
+
+// failBatch completes every request in the batch with err: they leave the
+// pending set, unblock their barrier successors (a failed predecessor
+// constrains nothing — its data never reached the media), are traced as
+// failed, and fire Done with Err set.
+func (d *Driver) failBatch(batch []*Request, err error, now sim.Time) {
+	for _, r := range batch {
+		delete(d.pending, r.ID)
+	}
+	if fo, ok := d.obs.(FaultObserver); ok {
+		fo.RequestsFailed(batchIDs(batch), now)
+	}
+	for _, r := range batch {
+		r.Err = err
+		d.Faults.Errors++
+		for i, blocked := range r.blocks {
+			blocked.nwait--
+			r.blocks[i] = nil
+		}
+		r.blocks = r.blocks[:0]
+		d.Trace.Stats = append(d.Trace.Stats, Stat{
+			ID:       r.ID,
+			Op:       r.Op,
+			Sectors:  r.Count,
+			Queue:    r.dispatchAt - r.enqueueAt,
+			Service:  now - r.dispatchAt,
+			Response: now - r.enqueueAt,
+			Failed:   true,
+		})
+	}
+	d.inflight = nil
+	d.batchState = batchIdle
+	d.batchRetries = 0
+	for _, r := range batch {
+		r.Done.Fire(d.eng)
+	}
+	d.kick()
+	d.fireIdle()
+}
+
+// splitReadBatch handles a permanent bad sector under a read batch: the
+// requests whose range covers the sector fail (their data is gone until
+// some write remaps the sector), the others go back to the queue and are
+// dispatched again — their barrier state is untouched, so ordering holds.
+func (d *Driver) splitReadBatch(batch []*Request, bad int64, now sim.Time) {
+	var failed, requeue []*Request
+	for _, r := range batch {
+		if r.LBN <= bad && bad < r.end() {
+			failed = append(failed, r)
+		} else {
+			requeue = append(requeue, r)
+		}
+	}
+	d.inflight = nil
+	d.batchState = batchIdle
+	d.batchRetries = 0
+	d.queue = append(d.queue, requeue...)
+	if len(failed) > 0 {
+		for _, r := range failed {
+			delete(d.pending, r.ID)
+		}
+		if fo, ok := d.obs.(FaultObserver); ok {
+			fo.RequestsFailed(batchIDs(failed), now)
+		}
+		for _, r := range failed {
+			r.Err = ErrBadSector
+			d.Faults.Errors++
+			for i, blocked := range r.blocks {
+				blocked.nwait--
+				r.blocks[i] = nil
+			}
+			r.blocks = r.blocks[:0]
+			d.Trace.Stats = append(d.Trace.Stats, Stat{
+				ID: r.ID, Op: r.Op, Sectors: r.Count,
+				Queue:    r.dispatchAt - r.enqueueAt,
+				Service:  now - r.dispatchAt,
+				Response: now - r.enqueueAt,
+				Failed:   true,
+			})
+		}
+		for _, r := range failed {
+			r.Done.Fire(d.eng)
+		}
+	}
+	d.kick()
+	d.fireIdle()
 }
 
 // WaitIdle blocks p until the driver has no queued or in-flight requests.
@@ -589,11 +878,29 @@ func (d *Driver) Crash(at sim.Time) {
 	if len(d.inflight) == 0 {
 		return
 	}
+	// A batch parked in a retry backoff is not touching the media: whatever
+	// prefix its earlier attempt tore off was already committed at complete()
+	// time, and nothing further lands between attempts.
+	if d.batchState != batchTransferring {
+		return
+	}
 	elapsed := at - d.batchDispatch
 	transferred := elapsed - d.batchAccess.Positioning
 	var sectorsDone int
 	if transferred > 0 && d.batchAccess.PerSector > 0 {
 		sectorsDone = int(transferred / d.batchAccess.PerSector)
+	}
+	// The current attempt's own fault bounds what this transfer can commit:
+	// a transient failure aborts during positioning (nothing lands), a torn
+	// or bad-sector write stops at the fault point even if the elapsed-time
+	// estimate says more sectors would have fit.
+	switch d.batchAccess.Fault.Kind {
+	case fault.Transient:
+		sectorsDone = 0
+	case fault.Torn, fault.BadSector:
+		if sectorsDone > d.batchAccess.Fault.TornSectors {
+			sectorsDone = d.batchAccess.Fault.TornSectors
+		}
 	}
 	// Sectors commit in LBN order across the batch.
 	lbn := d.batchLBN

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"metaupdate/internal/fault"
 	"metaupdate/internal/sim"
 )
 
@@ -98,6 +99,12 @@ type Access struct {
 	Positioning sim.Duration // overhead + seek + rotational latency
 	PerSector   sim.Duration // media (or bus, for cache hits) time per sector
 	CacheHit    bool         // read fully satisfied from the read-ahead segment
+
+	// Fault is the injected outcome of this access (fault.None on a
+	// fault-free disk). The driver inspects it when the completion fires:
+	// anything but None/Latency means the command failed and Service already
+	// reflects where the transfer stopped.
+	Fault fault.Outcome
 }
 
 // chunkBytes is the granularity of lazy media materialization. The harness
@@ -126,12 +133,25 @@ type Disk struct {
 	preTime          sim.Time
 	mediaPerSector   sim.Duration
 
+	// Fault injection: faults is consulted on every media access; remapped
+	// holds the per-disk bad-sector remap table (sectors rewritten to the
+	// spare pool after a write hit a permanent bad sector), bounded by
+	// spares. Remapped sectors keep their logical address — the media image
+	// stays indexed by LBN — but accesses touching them pay remapPenalty
+	// for the head excursion to the spare area.
+	faults       fault.Judge
+	remapped     map[int64]struct{}
+	spares       int
+	remapPenalty sim.Duration
+
 	// Stats for the experiment harness.
 	Reads, Writes  int64
 	SectorsRead    int64
 	SectorsWritten int64
 	BusyTime       sim.Duration
 	SeekTimeTotal  sim.Duration
+	Remaps         int64 // sectors remapped to spares
+	FaultsSeen     int64 // accesses judged to fault (any kind)
 }
 
 // New returns a disk with the given parameters and zeroed media. Only
@@ -157,6 +177,40 @@ func New(p Params, sizeLimit int64) *Disk {
 
 // Sectors returns the number of addressable sectors.
 func (d *Disk) Sectors() int64 { return d.size / SectorSize }
+
+// SetFaults installs a fault judge (nil removes it) and sizes the spare
+// pool for bad-sector remapping. spares <= 0 selects DefaultSpareSectors.
+func (d *Disk) SetFaults(j fault.Judge, spares int) {
+	if spares <= 0 {
+		spares = DefaultSpareSectors
+	}
+	d.faults = j
+	d.spares = spares
+	d.remapped = make(map[int64]struct{})
+	d.remapPenalty = d.P.RevTime() // one extra revolution reaching the spare area
+}
+
+// DefaultSpareSectors is the default bad-sector spare pool size.
+const DefaultSpareSectors = 64
+
+// IsRemapped reports whether sector lbn has been remapped to a spare.
+func (d *Disk) IsRemapped(lbn int64) bool {
+	_, ok := d.remapped[lbn]
+	return ok
+}
+
+// Remap moves sector lbn to the spare pool, reporting false when the pool
+// is exhausted. The driver calls it after a write hit a permanent bad
+// sector; from then on the sector reads and writes normally (at its logical
+// address — the media image is unchanged) with a per-access penalty.
+func (d *Disk) Remap(lbn int64) bool {
+	if d.remapped == nil || len(d.remapped) >= d.spares {
+		return false
+	}
+	d.remapped[lbn] = struct{}{}
+	d.Remaps++
+	return true
+}
 
 // chunkLen returns the byte length of chunk i (the last chunk may be short).
 func (d *Disk) chunkLen(i int64) int {
@@ -298,17 +352,24 @@ func (d *Disk) Plan(now sim.Time, op Op, lbn int64, count int) Access {
 		Positioning: d.P.CmdOverhead + seek + rot,
 		PerSector:   d.mediaPerSector,
 	}
+	d.applyFaults(&acc, op, lbn, count)
 	d.BusyTime += acc.Service
 
+	failed := acc.Fault.Kind == fault.Transient || acc.Fault.Kind == fault.BadSector
 	if op == Read {
-		// The drive keeps reading ahead into its segment after the
-		// request's last sector.
-		d.preStart = lbn
-		d.preEnd = lbn + int64(count) + int64(d.P.PrefetchSectors)
-		if d.preEnd > d.Sectors() {
-			d.preEnd = d.Sectors()
+		if failed {
+			// A failed read leaves no trustworthy read-ahead segment.
+			d.preStart, d.preEnd = -1, -1
+		} else {
+			// The drive keeps reading ahead into its segment after the
+			// request's last sector.
+			d.preStart = lbn
+			d.preEnd = lbn + int64(count) + int64(d.P.PrefetchSectors)
+			if d.preEnd > d.Sectors() {
+				d.preEnd = d.Sectors()
+			}
+			d.preTime = now + acc.Positioning
 		}
-		d.preTime = now + acc.Positioning
 	} else {
 		// Writes invalidate any overlapping cached read-ahead data.
 		if d.preStart >= 0 && lbn < d.preEnd && lbn+int64(count) > d.preStart {
@@ -316,6 +377,49 @@ func (d *Disk) Plan(now sim.Time, op Op, lbn int64, count int) Access {
 		}
 	}
 	return acc
+}
+
+// applyFaults judges the access against the installed fault plan and folds
+// the outcome into the timing: a latency spike extends the transfer; a
+// transient error aborts the command during positioning (nothing reaches
+// the media); a torn write or a bad sector stops the transfer at the
+// offending point, so Service covers exactly the sectors that made it. The
+// read-ahead hit path never gets here — cache hits do not touch the media.
+//
+// Accesses that touch remapped sectors pay one extra revolution per such
+// sector for the excursion to the spare area — the graceful-degradation
+// cost of remapping.
+func (d *Disk) applyFaults(acc *Access, op Op, lbn int64, count int) {
+	if d.faults == nil {
+		return
+	}
+	if len(d.remapped) > 0 {
+		for s := lbn; s < lbn+int64(count); s++ {
+			if _, ok := d.remapped[s]; ok {
+				acc.Service += d.remapPenalty
+				acc.Positioning += d.remapPenalty
+			}
+		}
+	}
+	out := d.faults.Judge(op == Write, lbn, count, d.IsRemapped)
+	if out.Kind == fault.None {
+		return
+	}
+	d.FaultsSeen++
+	switch out.Kind {
+	case fault.Latency:
+		acc.Service += out.Extra
+	case fault.Transient:
+		// Command aborted before the transfer started.
+		acc.Service = acc.Positioning
+	case fault.Torn, fault.BadSector:
+		done := out.TornSectors
+		if done > count {
+			done = count
+		}
+		acc.Service = acc.Positioning + acc.PerSector*sim.Duration(done)
+	}
+	acc.Fault = out
 }
 
 // Commit copies data for a completed write onto the media. len(data) must be

@@ -14,12 +14,12 @@ import (
 // crash).
 
 // ibmapBuf returns the (whole) inode bitmap buffer.
-func (fs *FS) ibmapBuf(p *sim.Proc) *cache.Buf {
+func (fs *FS) ibmapBuf(p *sim.Proc) (*cache.Buf, error) {
 	return fs.cache.Bread(p, int64(fs.sb.IBmapStart), int(fs.sb.IBmapFrags()))
 }
 
 // fbmapBuf returns the (whole) fragment bitmap buffer.
-func (fs *FS) fbmapBuf(p *sim.Proc) *cache.Buf {
+func (fs *FS) fbmapBuf(p *sim.Proc) (*cache.Buf, error) {
 	return fs.cache.Bread(p, int64(fs.sb.FBmapStart), int(fs.sb.FBmapFrags()))
 }
 
@@ -108,7 +108,10 @@ func (fs *FS) allocFrags(p *sim.Proc, n int, cg int32) (int32, error) {
 	defer fs.allocMu.Unlock(fs.eng)
 	fs.charge(p, fs.cfg.Costs.AllocOp)
 
-	fb := fs.fbmapBuf(p)
+	fb, err := fs.fbmapBuf(p)
+	if err != nil {
+		return 0, err
+	}
 	defer fb.Hold().Unhold()
 	bm := fb.Data
 	try := func(from, to int32) (int32, bool) {
@@ -158,7 +161,10 @@ func (fs *FS) tryExtendFrags(p *sim.Proc, start int32, oldN, newN int) bool {
 	fs.allocMu.Lock(p)
 	defer fs.allocMu.Unlock(fs.eng)
 	fs.charge(p, fs.cfg.Costs.AllocOp)
-	fb := fs.fbmapBuf(p)
+	fb, err := fs.fbmapBuf(p)
+	if err != nil {
+		return false // cannot extend; the caller falls back to a move
+	}
 	defer fb.Hold().Unhold()
 	if !runFree(fb.Data, start+int32(oldN), newN-oldN) {
 		return false
@@ -176,7 +182,10 @@ func (fs *FS) allocInode(p *sim.Proc) (Ino, error) {
 	fs.allocMu.Lock(p)
 	defer fs.allocMu.Unlock(fs.eng)
 	fs.charge(p, fs.cfg.Costs.AllocOp)
-	ib := fs.ibmapBuf(p)
+	ib, err := fs.ibmapBuf(p)
+	if err != nil {
+		return 0, err
+	}
 	defer ib.Hold().Unhold()
 	bm := ib.Data
 	n := Ino(fs.sb.NInodes)
@@ -212,8 +221,16 @@ func (fs *FS) allocInode(p *sim.Proc) (Ino, error) {
 // for Conventional, Flag and Chains; from a workitem for Soft Updates).
 func (fs *FS) ApplyFree(p *sim.Proc, rec *FreeRec) {
 	fs.allocMu.Lock(p)
+	defer fs.allocMu.Unlock(fs.eng)
 	fs.charge(p, fs.cfg.Costs.AllocOp)
-	fb := fs.fbmapBuf(p)
+	fb, err := fs.fbmapBuf(p)
+	if err != nil {
+		// Hook context: no caller to return the error to. Leaking the
+		// resources (bits stay set) is the safe degradation — fsck's
+		// free-map reconciliation reclaims them after the next crash.
+		fs.count("leak_free")
+		return
+	}
 	defer fb.Hold().Unhold()
 	fs.cache.PrepareModify(p, fb)
 	for _, run := range rec.Frags {
@@ -224,13 +241,16 @@ func (fs *FS) ApplyFree(p *sim.Proc, rec *FreeRec) {
 	}
 	fs.ord.MetaUpdate(p, fb)
 	if rec.FreeIno != 0 {
-		ib := fs.ibmapBuf(p)
+		ib, err := fs.ibmapBuf(p)
+		if err != nil {
+			fs.count("leak_free")
+			return
+		}
 		defer ib.Hold().Unhold()
 		fs.cache.PrepareModify(p, ib)
 		bitClr(ib.Data, int32(rec.FreeIno))
 		fs.ord.MetaUpdate(p, ib)
 	}
-	fs.allocMu.Unlock(fs.eng)
 }
 
 // FreeFragsRaw clears fragment bits without dropping buffers (used by the

@@ -53,7 +53,10 @@ func (fs *FS) locatePtr(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff int
 			}
 			ip.Indir = indirFrag
 		}
-		nb := fs.cache.Bread(p, int64(indirFrag), BlockFrags)
+		nb, err := fs.cache.Bread(p, int64(indirFrag), BlockFrags)
+		if err != nil {
+			return ptrLoc{}, false, err
+		}
 		return ptrLoc{buf: nb, off: (bi - NDirect) * 4, isIndir: true}, true, nil
 	default:
 		// Double indirect: first level selects an indirect block, second
@@ -72,7 +75,10 @@ func (fs *FS) locatePtr(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff int
 			}
 			ip.Dindir = dFrag
 		}
-		db := fs.cache.Bread(p, int64(dFrag), BlockFrags)
+		db, err := fs.cache.Bread(p, int64(dFrag), BlockFrags)
+		if err != nil {
+			return ptrLoc{}, false, err
+		}
 		l1frag := getPtr(db.Data, l1*4)
 		if l1frag == 0 {
 			if !alloc {
@@ -84,7 +90,10 @@ func (fs *FS) locatePtr(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff int
 				return ptrLoc{}, false, err
 			}
 		}
-		nb := fs.cache.Bread(p, int64(l1frag), BlockFrags)
+		nb, err := fs.cache.Bread(p, int64(l1frag), BlockFrags)
+		if err != nil {
+			return ptrLoc{}, false, err
+		}
 		return ptrLoc{buf: nb, off: l2 * 4, isIndir: true}, true, nil
 	}
 }
@@ -154,7 +163,7 @@ func (fs *FS) readBlock(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff, bi
 	if frag == 0 {
 		return nil, fmt.Errorf("ffs: hole at block %d of inode %d", bi, ino)
 	}
-	return fs.cache.Bread(p, int64(frag), blockRunLenForRead(ip.Size, bi)), nil
+	return fs.cache.Bread(p, int64(frag), blockRunLenForRead(ip.Size, bi))
 }
 
 func blockRunLenForRead(size uint64, bi int) int { return blockRunLen(size, bi) }
@@ -189,7 +198,10 @@ func (fs *FS) growBlock(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff, bi
 		}
 		if wantNF <= oldNF {
 			// Existing block is already big enough.
-			b := fs.cache.Bread(p, int64(frag), oldNF)
+			b, err := fs.cache.Bread(p, int64(frag), oldNF)
+			if err != nil {
+				return nil, err
+			}
 			b.Hold()
 			if fill == nil {
 				fs.updateSize(p, ip, ib, ioff, newSize)
@@ -226,7 +238,10 @@ func (fs *FS) growBlock(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff, bi
 			return b, nil
 		}
 		// Fragment extension.
-		b := fs.cache.Bread(p, int64(frag), oldNF)
+		b, err := fs.cache.Bread(p, int64(frag), oldNF)
+		if err != nil {
+			return nil, err
+		}
 		defer b.Hold().Unhold()
 		defer loc.buf.Hold().Unhold()
 		if fs.tryExtendFrags(p, frag, oldNF, wantNF) {
@@ -351,8 +366,11 @@ func (fs *FS) updateSizeRaw(p *sim.Proc, ip *Inode, ib *cache.Buf, ioff int, new
 }
 
 // collectRuns gathers every fragment run of the file, including indirect
-// blocks themselves, for truncation.
-func (fs *FS) collectRuns(p *sim.Proc, ip *Inode) []FragRun {
+// blocks themselves, for truncation. On a read error (unreadable indirect
+// block on a faulted disk) it returns the runs gathered so far together
+// with the error: callers in hook context free the partial set and leak
+// the rest — fsck's free-map reconciliation is the backstop.
+func (fs *FS) collectRuns(p *sim.Proc, ip *Inode) ([]FragRun, error) {
 	var runs []FragRun
 	nblocks := blocksOf(ip.Size)
 	add := func(frag int32, n int) {
@@ -364,7 +382,10 @@ func (fs *FS) collectRuns(p *sim.Proc, ip *Inode) []FragRun {
 		add(ip.Direct[bi], blockRunLen(ip.Size, bi))
 	}
 	if ip.Indir != 0 {
-		nb := fs.cache.Bread(p, int64(ip.Indir), BlockFrags)
+		nb, err := fs.cache.Bread(p, int64(ip.Indir), BlockFrags)
+		if err != nil {
+			return runs, err
+		}
 		for i := 0; i < PtrsPerBlock; i++ {
 			bi := NDirect + i
 			if bi >= nblocks {
@@ -375,7 +396,10 @@ func (fs *FS) collectRuns(p *sim.Proc, ip *Inode) []FragRun {
 		add(ip.Indir, BlockFrags)
 	}
 	if ip.Dindir != 0 {
-		db := fs.cache.Bread(p, int64(ip.Dindir), BlockFrags)
+		db, err := fs.cache.Bread(p, int64(ip.Dindir), BlockFrags)
+		if err != nil {
+			return runs, err
+		}
 		for l1 := 0; l1 < PtrsPerBlock; l1++ {
 			base := NDirect + PtrsPerBlock + l1*PtrsPerBlock
 			if base >= nblocks {
@@ -385,7 +409,10 @@ func (fs *FS) collectRuns(p *sim.Proc, ip *Inode) []FragRun {
 			if l1frag == 0 {
 				continue
 			}
-			nb := fs.cache.Bread(p, int64(l1frag), BlockFrags)
+			nb, err := fs.cache.Bread(p, int64(l1frag), BlockFrags)
+			if err != nil {
+				return runs, err
+			}
 			for l2 := 0; l2 < PtrsPerBlock; l2++ {
 				bi := base + l2
 				if bi >= nblocks {
@@ -397,5 +424,5 @@ func (fs *FS) collectRuns(p *sim.Proc, ip *Inode) []FragRun {
 		}
 		add(ip.Dindir, BlockFrags)
 	}
-	return runs
+	return runs, nil
 }

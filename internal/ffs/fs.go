@@ -90,7 +90,10 @@ func Mount(eng *sim.Engine, cpu *sim.CPU, c *cache.Cache, ord Ordering, cfg Conf
 		prefCG:   make(map[Ino]int32),
 		OpCount:  make(map[string]int64),
 	}
-	sbuf := c.Bread(p, 0, BlockFrags)
+	sbuf, err := c.Bread(p, 0, BlockFrags)
+	if err != nil {
+		return nil, err
+	}
 	if err := fs.sb.decode(sbuf.Data); err != nil {
 		return nil, err
 	}
@@ -165,21 +168,28 @@ func (fs *FS) unlockPair(a, b Ino) {
 
 // inodeBuf returns the (held) buffer holding ino's inode-table block and
 // the byte offset of the inode within it. The caller must release it.
-func (fs *FS) inodeBuf(p *sim.Proc, ino Ino) (*cache.Buf, int) {
+func (fs *FS) inodeBuf(p *sim.Proc, ino Ino) (*cache.Buf, int, error) {
 	if ino == 0 || uint32(ino) >= fs.sb.NInodes {
 		panic(fmt.Sprintf("ffs: inode %d out of range", ino))
 	}
 	frag, off := fs.sb.InodeFrag(ino)
-	return fs.cache.Bread(p, int64(frag), BlockFrags).Hold(), off
+	b, err := fs.cache.Bread(p, int64(frag), BlockFrags)
+	if err != nil {
+		return nil, 0, err
+	}
+	return b.Hold(), off, nil
 }
 
 // getInode decodes ino from its table block; the returned buffer is held
 // and must be released by the caller.
-func (fs *FS) getInode(p *sim.Proc, ino Ino) (Inode, *cache.Buf, int) {
-	b, off := fs.inodeBuf(p, ino)
+func (fs *FS) getInode(p *sim.Proc, ino Ino) (Inode, *cache.Buf, int, error) {
+	b, off, err := fs.inodeBuf(p, ino)
+	if err != nil {
+		return Inode{}, nil, 0, err
+	}
 	var ip Inode
 	ip.decode(b.Data[off : off+InodeSize])
-	return ip, b, off
+	return ip, b, off, nil
 }
 
 // putInode encodes ip back into its table block after waiting out any
@@ -193,7 +203,10 @@ func (fs *FS) putInode(p *sim.Proc, ip *Inode, b *cache.Buf, off int) {
 func (fs *FS) Stat(p *sim.Proc, ino Ino) (Inode, error) {
 	fs.count("stat")
 	fs.charge(p, fs.cfg.Costs.Syscall+fs.cfg.Costs.InodeOp)
-	ip, b, _ := fs.getInode(p, ino)
+	ip, b, _, err := fs.getInode(p, ino)
+	if err != nil {
+		return Inode{}, err
+	}
 	fs.rele(b)
 	if !ip.Allocated() {
 		return ip, ErrNotExist

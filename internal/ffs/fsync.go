@@ -26,25 +26,40 @@ func (fs *FS) Fsync(p *sim.Proc, ino Ino) error {
 
 	const maxRounds = 24
 	for round := 0; round < maxRounds; round++ {
-		ip, ib, _ := fs.getInode(p, ino)
+		ip, ib, _, err := fs.getInode(p, ino)
+		if err != nil {
+			return err
+		}
 		if !ip.Allocated() {
 			fs.rele(ib)
 			return ErrNotExist
 		}
 		wrote := false
 		// Flush the file's resident dirty blocks (data and indirect).
-		for _, run := range fs.collectRuns(p, &ip) {
+		runs, err := fs.collectRuns(p, &ip)
+		if err != nil {
+			fs.rele(ib)
+			return err
+		}
+		for _, run := range runs {
 			b := fs.cache.Lookup(int64(run.Start))
 			if b != nil && b.Dirty {
 				b.Hold()
-				fs.cache.Bwrite(p, b)
+				werr := fs.cache.Bwrite(p, b)
 				b.Unhold()
+				if werr != nil {
+					fs.rele(ib)
+					return werr
+				}
 				wrote = true
 			}
 		}
 		// Then the inode itself.
 		if ib.Dirty {
-			fs.cache.Bwrite(p, ib)
+			if werr := fs.cache.Bwrite(p, ib); werr != nil {
+				fs.rele(ib)
+				return werr
+			}
 			wrote = true
 		}
 		fs.rele(ib)
@@ -55,7 +70,10 @@ func (fs *FS) Fsync(p *sim.Proc, ino Ino) error {
 			// Re-access the inode block: a scheme's lazy redo would
 			// re-dirty it here; if it stays clean, the on-disk state
 			// carries everything.
-			_, ib2, _ := fs.getInode(p, ino)
+			_, ib2, _, err := fs.getInode(p, ino)
+			if err != nil {
+				return err
+			}
 			clean := !ib2.Dirty
 			fs.rele(ib2)
 			if clean {

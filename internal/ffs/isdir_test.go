@@ -1,0 +1,55 @@
+package ffs_test
+
+import (
+	"testing"
+
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/ordering"
+	"metaupdate/internal/sim"
+)
+
+// TestWriteAtOnDirectoryReturnsErrIsDir pins a latent bug found by
+// FuzzCrashConsistency: WriteAt accepted a directory inode, so a workload
+// that created a file, removed it, made a directory under the same name,
+// and wrote to the (stale-by-name) inode would overwrite the directory's
+// entry format with file data — corruption through the legal API. write(2)
+// on a directory is EISDIR; the simulator must agree.
+func TestWriteAtOnDirectoryReturnsErrIsDir(t *testing.T) {
+	r := newRig(t, ordering.NewNoOrder(), ffs.Config{})
+	r.run(t, func(p *sim.Proc) {
+		dir, err := r.fs.Mkdir(p, ffs.RootIno, "sub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.WriteAt(p, dir, 0, make([]byte, 512)); err != ffs.ErrIsDir {
+			t.Fatalf("WriteAt on directory: %v, want ErrIsDir", err)
+		}
+		// The name-reuse shape the fuzzer actually hit.
+		ino, err := r.fs.Create(p, dir, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.Unlink(p, dir, "x"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.Mkdir(p, dir, "x"); err != nil {
+			t.Fatal(err)
+		}
+		reused, err := r.fs.Lookup(p, dir, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused == ino {
+			// Same inode reused for the directory — exactly the corruption
+			// vector: the write must bounce.
+			if err := r.fs.WriteAt(p, reused, 0, make([]byte, 512)); err != ffs.ErrIsDir {
+				t.Fatalf("WriteAt on reused directory inode: %v, want ErrIsDir", err)
+			}
+		}
+		// Directory still readable and well-formed either way.
+		names, err := r.fs.ReadDir(p, dir)
+		if err != nil || len(names) != 1 || names[0].Name != "x" {
+			t.Fatalf("ReadDir after bounced write: %v err=%v", names, err)
+		}
+	})
+}

@@ -43,7 +43,10 @@ func (fs *FS) Lookup(p *sim.Proc, dir Ino, name string) (Ino, error) {
 // block buffer and entry offset. The caller holds dir's lock and must
 // release the buffer.
 func (fs *FS) lookupLocked(p *sim.Proc, dir Ino, name string) (Ino, *cache.Buf, int, error) {
-	dip, dib, dioff := fs.getInode(p, dir)
+	dip, dib, dioff, err := fs.getInode(p, dir)
+	if err != nil {
+		return 0, nil, 0, err
+	}
 	defer fs.rele(dib)
 	if !dip.Allocated() {
 		return 0, nil, 0, ErrNotExist
@@ -75,7 +78,10 @@ func (fs *FS) lookupLocked(p *sim.Proc, dir Ino, name string) (Ino, *cache.Buf, 
 // entry offset. Caller holds dir's lock; the pointed-to inode must already
 // be ordered (AddInode) by the caller.
 func (fs *FS) dirAddEntry(p *sim.Proc, dir Ino, name string, ino Ino, ftype uint8) (*cache.Buf, int, error) {
-	dip, dib, dioff := fs.getInode(p, dir)
+	dip, dib, dioff, err := fs.getInode(p, dir)
+	if err != nil {
+		return nil, 0, err
+	}
 	defer fs.rele(dib)
 	fs.charge(p, fs.cfg.Costs.DirModify)
 	nblocks := blocksOf(dip.Size)
@@ -136,7 +142,10 @@ func (fs *FS) Create(p *sim.Proc, dir Ino, name string) (Ino, error) {
 	if err != nil {
 		return 0, err
 	}
-	ib, ioff := fs.inodeBuf(p, ino)
+	ib, ioff, err := fs.inodeBuf(p, ino)
+	if err != nil {
+		return 0, err
+	}
 	defer fs.rele(ib)
 	fs.charge(p, fs.cfg.Costs.InodeOp)
 	fs.cache.PrepareModify(p, ib)
@@ -179,7 +188,10 @@ func (fs *FS) Mkdir(p *sim.Proc, dir Ino, name string) (Ino, error) {
 		return 0, err
 	}
 	// 1. Initialize the child inode (link count 2: "." and parent entry).
-	cib, cioff := fs.inodeBuf(p, ino)
+	cib, cioff, err := fs.inodeBuf(p, ino)
+	if err != nil {
+		return 0, err
+	}
 	defer fs.rele(cib)
 	fs.charge(p, fs.cfg.Costs.InodeOp)
 	fs.cache.PrepareModify(p, cib)
@@ -191,7 +203,10 @@ func (fs *FS) Mkdir(p *sim.Proc, dir Ino, name string) (Ino, error) {
 
 	// 2. Bump the parent's link count ("..") before the ".." entry can hit
 	// the disk.
-	dip, dib, dioff := fs.getInode(p, dir)
+	dip, dib, dioff, err := fs.getInode(p, dir)
+	if err != nil {
+		return 0, err
+	}
 	defer fs.rele(dib)
 	fs.cache.PrepareModify(p, dib)
 	dip.Nlink++
@@ -245,7 +260,10 @@ func (fs *FS) Link(p *sim.Proc, ino Ino, dir Ino, name string) error {
 	} else if err != ErrNotExist {
 		return err
 	}
-	ip, ib, ioff := fs.getInode(p, ino)
+	ip, ib, ioff, err := fs.getInode(p, ino)
+	if err != nil {
+		return err
+	}
 	defer fs.rele(ib)
 	if !ip.Allocated() {
 		return ErrNotExist
@@ -281,7 +299,10 @@ func (fs *FS) Unlink(p *sim.Proc, dir Ino, name string) error {
 		return err
 	}
 	defer fs.rele(db)
-	ip, ib, _ := fs.getInode(p, ino)
+	ip, ib, _, err := fs.getInode(p, ino)
+	if err != nil {
+		return err
+	}
 	fs.rele(ib)
 	if ip.IsDir() {
 		return ErrIsDir
@@ -306,7 +327,10 @@ func (fs *FS) Rmdir(p *sim.Proc, dir Ino, name string) error {
 		return err
 	}
 	defer fs.rele(db)
-	ip, cib, cioff := fs.getInode(p, ino)
+	ip, cib, cioff, err := fs.getInode(p, ino)
+	if err != nil {
+		return err
+	}
 	defer fs.rele(cib)
 	if !ip.IsDir() {
 		return ErrNotDir
@@ -363,7 +387,10 @@ func (fs *FS) Rename(p *sim.Proc, sdir Ino, sname string, ddir Ino, dname string
 		return err
 	}
 	defer fs.rele(sdb)
-	ip, ib, ioff := fs.getInode(p, ino)
+	ip, ib, ioff, err := fs.getInode(p, ino)
+	if err != nil {
+		return err
+	}
 	defer fs.rele(ib)
 	if ip.IsDir() {
 		return ErrIsDir // directory rename not supported by this substrate
@@ -380,7 +407,11 @@ func (fs *FS) Rename(p *sim.Proc, sdir Ino, sname string, ddir Ino, dname string
 	oldIno, ddb, doff, derr := fs.lookupLocked(p, ddir, dname)
 	switch derr {
 	case nil:
-		oldIp, oib, _ := fs.getInode(p, oldIno)
+		oldIp, oib, _, gerr := fs.getInode(p, oldIno)
+		if gerr != nil {
+			fs.rele(ddb)
+			return gerr
+		}
 		fs.rele(oib)
 		if oldIp.IsDir() {
 			fs.rele(ddb)
@@ -429,7 +460,15 @@ func (fs *FS) FinishRemove(p *sim.Proc, rec *RemRec) {
 			fs.unlockInode(rec.Ino)
 		}
 	}
-	ip, ib, ioff := fs.getInode(p, rec.Ino)
+	ip, ib, ioff, err := fs.getInode(p, rec.Ino)
+	if err != nil {
+		// Hook context: nobody to return the error to. The inode stays
+		// allocated with a stale link count — exactly the fsck-repairable
+		// "link count too high" degradation, counted and left behind.
+		fs.count("leak_remove")
+		unlockIno()
+		return
+	}
 	defer fs.rele(ib)
 	fs.charge(p, fs.cfg.Costs.InodeOp)
 	if ip.IsDir() && !rec.LinkOnly {
@@ -438,12 +477,16 @@ func (fs *FS) FinishRemove(p *sim.Proc, rec *RemRec) {
 		if !rec.DirLocked {
 			fs.lockInode(p, rec.DirIno)
 		}
-		pip, pib, pioff := fs.getInode(p, rec.DirIno)
-		fs.cache.PrepareModify(p, pib)
-		pip.Nlink--
-		fs.putInode(p, &pip, pib, pioff)
-		fs.ord.MetaUpdate(p, pib)
-		fs.rele(pib)
+		pip, pib, pioff, perr := fs.getInode(p, rec.DirIno)
+		if perr != nil {
+			fs.count("leak_remove")
+		} else {
+			fs.cache.PrepareModify(p, pib)
+			pip.Nlink--
+			fs.putInode(p, &pip, pib, pioff)
+			fs.ord.MetaUpdate(p, pib)
+			fs.rele(pib)
+		}
 		if !rec.DirLocked {
 			fs.unlockInode(rec.DirIno)
 		}
@@ -468,7 +511,12 @@ func (fs *FS) FinishRemove(p *sim.Proc, rec *RemRec) {
 // (rule 2: nothing is re-usable until the cleared inode is on disk). The
 // caller holds the inode lock and the (held) inode-table buffer.
 func (fs *FS) freeFile(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff int) {
-	runs := fs.collectRuns(p, ip)
+	runs, err := fs.collectRuns(p, ip)
+	if err != nil {
+		// An unreadable indirect block: free what was collected, leak the
+		// rest (fsck's free-map reconciliation reclaims leaked fragments).
+		fs.count("leak_free")
+	}
 	fs.charge(p, fs.cfg.Costs.InodeOp)
 	fs.cache.PrepareModify(p, ib)
 	cleared := Inode{Gen: ip.Gen}
@@ -488,10 +536,21 @@ func (fs *FS) WriteAt(p *sim.Proc, ino Ino, off uint64, data []byte) error {
 	fs.charge(p, fs.cfg.Costs.PerKBCopy*sim.Duration((len(data)+FragSize-1)/FragSize))
 
 	for len(data) > 0 {
-		ip, ib, ioff := fs.getInode(p, ino)
+		ip, ib, ioff, err := fs.getInode(p, ino)
+		if err != nil {
+			return err
+		}
 		if !ip.Allocated() {
 			fs.rele(ib)
 			return ErrNotExist
+		}
+		if ip.IsDir() {
+			// write(2) on a directory is EISDIR; letting it through would
+			// corrupt the directory's format through the legal API (found
+			// by FuzzCrashConsistency: create/remove/mkdir reusing a name,
+			// then writing to it).
+			fs.rele(ib)
+			return ErrIsDir
 		}
 		bi := int(off / BlockSize)
 		boff := int(off % BlockSize)
@@ -535,7 +594,10 @@ func (fs *FS) ReadAt(p *sim.Proc, ino Ino, off uint64, buf []byte) (int, error) 
 	fs.lockInode(p, ino)
 	defer fs.unlockInode(ino)
 
-	ip, ib, ioff := fs.getInode(p, ino)
+	ip, ib, ioff, err := fs.getInode(p, ino)
+	if err != nil {
+		return 0, err
+	}
 	defer fs.rele(ib)
 	if !ip.Allocated() {
 		return 0, ErrNotExist
@@ -570,7 +632,10 @@ func (fs *FS) ReadDir(p *sim.Proc, dir Ino) ([]Dirent, error) {
 	fs.lockInode(p, dir)
 	defer fs.unlockInode(dir)
 
-	dip, dib, dioff := fs.getInode(p, dir)
+	dip, dib, dioff, err := fs.getInode(p, dir)
+	if err != nil {
+		return nil, err
+	}
 	defer fs.rele(dib)
 	if !dip.Allocated() {
 		return nil, ErrNotExist

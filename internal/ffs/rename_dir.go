@@ -33,7 +33,10 @@ func (fs *FS) RenameDir(p *sim.Proc, sdir Ino, sname string, ddir Ino, dname str
 		return err
 	}
 	defer fs.rele(sdb)
-	cip, cib, _ := fs.getInode(p, child)
+	cip, cib, _, err := fs.getInode(p, child)
+	if err != nil {
+		return err
+	}
 	defer fs.rele(cib)
 	if !cip.IsDir() {
 		return ErrNotDir
@@ -60,7 +63,10 @@ func (fs *FS) RenameDir(p *sim.Proc, sdir Ino, sname string, ddir Ino, dname str
 	// add-then-remove flow keeps its count safe throughout (exactly the
 	// file-rename pattern).
 	fs.cache.PrepareModify(p, cib)
-	cip2, _, cioff2 := fs.getInode(p, child)
+	cip2, _, cioff2, err := fs.getInode(p, child)
+	if err != nil {
+		return err
+	}
 	fs.rele(cib) // getInode re-held it; drop the duplicate
 	cip2.Nlink++
 	fs.putInode(p, &cip2, cib, cioff2)
@@ -69,7 +75,10 @@ func (fs *FS) RenameDir(p *sim.Proc, sdir Ino, sname string, ddir Ino, dname str
 	_ = cip
 
 	// 2. The new parent gains the ".." reference.
-	dip, dib, dioff := fs.getInode(p, ddir)
+	dip, dib, dioff, err := fs.getInode(p, ddir)
+	if err != nil {
+		return err
+	}
 	defer fs.rele(dib)
 	fs.cache.PrepareModify(p, dib)
 	dip.Nlink++
@@ -89,7 +98,10 @@ func (fs *FS) RenameDir(p *sim.Proc, sdir Ino, sname string, ddir Ino, dname str
 	// 4. Retarget "..": an in-place, sector-atomic overwrite in the
 	// child's first block — an add (new parent) plus a remove (old
 	// parent) at the same offset.
-	cip3, _, _ := fs.getInode(p, child)
+	cip3, _, _, err := fs.getInode(p, child)
+	if err != nil {
+		return err
+	}
 	fs.rele(cib)
 	cb, err := fs.readBlock(p, child, &cip3, cib, cioff2, 0)
 	if err != nil {
@@ -131,7 +143,10 @@ func (fs *FS) renameDirSameParent(p *sim.Proc, dir Ino, sname, dname string) err
 		return err
 	}
 	defer fs.rele(sdb)
-	cip, cib, cioff := fs.getInode(p, child)
+	cip, cib, cioff, err := fs.getInode(p, child)
+	if err != nil {
+		return err
+	}
 	defer fs.rele(cib)
 	if !cip.IsDir() {
 		return ErrNotDir
@@ -173,7 +188,10 @@ func (fs *FS) isAncestor(p *sim.Proc, anc, node Ino) (bool, error) {
 		if node == anc {
 			return true, nil
 		}
-		ip, ib, ioff := fs.getInode(p, node)
+		ip, ib, ioff, err := fs.getInode(p, node)
+		if err != nil {
+			return false, err
+		}
 		if !ip.IsDir() {
 			fs.rele(ib)
 			return false, ErrNotDir

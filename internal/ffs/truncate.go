@@ -22,7 +22,10 @@ func (fs *FS) Truncate(p *sim.Proc, ino Ino, newSize uint64) error {
 	fs.lockInode(p, ino)
 	defer fs.unlockInode(ino)
 
-	ip, ib, ioff := fs.getInode(p, ino)
+	ip, ib, ioff, err := fs.getInode(p, ino)
+	if err != nil {
+		return err
+	}
 	defer fs.rele(ib)
 	if !ip.Allocated() {
 		return ErrNotExist
@@ -36,7 +39,12 @@ func (fs *FS) Truncate(p *sim.Proc, ino Ino, newSize uint64) error {
 	if newSize == 0 {
 		// Full truncation reuses the freeFile machinery minus the inode
 		// free: clear every pointer, keep the inode allocated.
-		runs := fs.collectRuns(p, &ip)
+		runs, err := fs.collectRuns(p, &ip)
+		if err != nil {
+			// Unreadable indirect block: free the collected prefix, leak
+			// the rest for fsck's free-map reconciliation.
+			fs.count("leak_free")
+		}
 		fs.charge(p, fs.cfg.Costs.InodeOp)
 		fs.cache.PrepareModify(p, ib)
 		ip.Size = 0

@@ -1,0 +1,104 @@
+package fsck
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"metaupdate/internal/ffs"
+)
+
+// TreeEntry describes one reachable object in an image's logical namespace.
+type TreeEntry struct {
+	Ino   ffs.Ino
+	Dir   bool
+	Size  uint64
+	Nlink int
+}
+
+// Tree walks the directory namespace of img from the root and returns the
+// reachable entries keyed by slash-separated path; the root itself is "/".
+// "." and ".." entries are skipped, and a directory is descended into at
+// most once (cycles in a corrupted image terminate instead of looping).
+//
+// The walk is the logical-state oracle behind the differential tests: two
+// images are "logically equal" iff their Trees are equal, and a recovered
+// image is a consistent prefix of a run iff its Tree relates to the
+// no-crash Tree per the paper's visibility rules. It deliberately reads
+// only the namespace — allocation bitmaps, free counts, and physical
+// placement are fsck's department, not the application's.
+//
+// A structurally broken image (bad superblock, pointers off the media)
+// returns an error rather than panicking.
+func Tree(img Image) (tree map[string]TreeEntry, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("tree walk failed: %v", p)
+		}
+	}()
+	c := &checker{img: img, rep: &Report{Refs: make(map[ffs.Ino]int)}}
+	if derr := decodeSB(img, &c.sb); derr != nil {
+		return nil, derr
+	}
+	root := c.readInode(ffs.RootIno)
+	if !root.IsDir() {
+		return nil, fmt.Errorf("root inode is not a directory")
+	}
+	tree = make(map[string]TreeEntry)
+	tree["/"] = TreeEntry{Ino: ffs.RootIno, Dir: true, Size: root.Size, Nlink: int(root.Nlink)}
+	visited := map[ffs.Ino]bool{ffs.RootIno: true}
+
+	type frame struct {
+		ino  ffs.Ino
+		ip   ffs.Inode
+		path string
+	}
+	queue := []frame{{ino: ffs.RootIno, ip: root, path: ""}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		data := c.dirData(f.ino, f.ip)
+		for chunk := 0; chunk+ffs.DirChunk <= len(data); chunk += ffs.DirChunk {
+			off := chunk
+			for off < chunk+ffs.DirChunk {
+				le := binary.LittleEndian
+				entIno := ffs.Ino(le.Uint32(data[off:]))
+				reclen := int(le.Uint16(data[off+4:]))
+				namelen := int(data[off+6])
+				if reclen < 8 || off+reclen > chunk+ffs.DirChunk || off+8+namelen > chunk+ffs.DirChunk {
+					break // malformed chunk; the fsck oracle reports it
+				}
+				if entIno != 0 {
+					name := string(data[off+8 : off+8+namelen])
+					if name != "." && name != ".." {
+						ip := c.readInode(entIno)
+						path := f.path + "/" + name
+						tree[path] = TreeEntry{
+							Ino:   entIno,
+							Dir:   ip.IsDir(),
+							Size:  ip.Size,
+							Nlink: int(ip.Nlink),
+						}
+						if ip.IsDir() && !visited[entIno] {
+							visited[entIno] = true
+							queue = append(queue, frame{ino: entIno, ip: ip, path: path})
+						}
+					}
+				}
+				off += reclen
+			}
+		}
+	}
+	return tree, nil
+}
+
+// TreePaths returns tree's keys in sorted order (a stable shape for test
+// diagnostics).
+func TreePaths(tree map[string]TreeEntry) []string {
+	paths := make([]string, 0, len(tree))
+	for p := range tree {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}

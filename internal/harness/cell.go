@@ -25,6 +25,9 @@ const (
 	CellSdet
 	// CellAndrew runs the five-phase Andrew benchmark (single user).
 	CellAndrew
+	// CellFaultRecovery runs the metadata churn under a fault plan, pulls
+	// the plug at CrashAt, recovers the image, and reports what survived.
+	CellFaultRecovery
 )
 
 // Cell is one self-contained deterministic simulation: a complete system
@@ -52,6 +55,9 @@ type Cell struct {
 
 	// Commands is the per-script command count (CellSdet).
 	Commands int
+
+	// CrashAt is the virtual instant the plug is pulled (CellFaultRecovery).
+	CrashAt sim.Duration
 }
 
 // CellResult carries every measurement a cell kind can produce; unused
@@ -64,6 +70,7 @@ type CellResult struct {
 	Throughput float64              // CellFig5: files per virtual second
 	SdetWall   sim.Duration         // CellSdet: wall virtual time for all scripts
 	Andrew     workload.AndrewTimes // CellAndrew
+	FaultRec   FaultRecovery        // CellFaultRecovery
 	Wall       time.Duration        // real execution time of the simulation
 }
 
@@ -79,11 +86,13 @@ func (c Cell) Fingerprint() string {
 		dp = fmt.Sprintf("%+v", *o.DiskParams)
 	}
 	return fmt.Sprintf(
-		"k%d|sch%d|sem%d|nr%t|cb%t|exp%t|ai%t|bf%t|ign%t|db%d|fsb%d|ni%d|cby%d|nv%d|sf%d|costs%+v|dp{%s}|u%d|sc%g|rm%t|f5%d|tf%d|cmd%d",
+		"k%d|sch%d|sem%d|nr%t|cb%t|exp%t|ai%t|bf%t|ign%t|db%d|fsb%d|ni%d|cby%d|nv%d|sf%d|costs%+v|dp{%s}|flt{%s}|mr%d|rb%d|sp%d|u%d|sc%g|rm%t|f5%d|tf%d|cmd%d|ca%d",
 		c.Kind, o.Scheme, o.Sem, o.NR, o.CB, o.Explicit, o.AllocInit,
 		o.BarrierFrees, o.IgnoreOrdering, o.DiskBytes, o.FSBytes, o.NInodes,
 		o.CacheBytes, o.NVRAMBytes, o.SyncerFraction, o.Costs, dp,
-		c.Users, float64(c.Scale), c.Remove, c.Fig5, c.TotalFiles, c.Commands)
+		o.Faults.String(), o.MaxRetries, o.RetryBackoff, o.SpareSectors,
+		c.Users, float64(c.Scale), c.Remove, c.Fig5, c.TotalFiles, c.Commands,
+		c.CrashAt)
 }
 
 // run executes the cell's simulation from scratch. It is a pure function
@@ -99,6 +108,8 @@ func (c Cell) run() CellResult {
 		return CellResult{SdetWall: sdetBench(c.Opt, c.Users, c.Commands)}
 	case CellAndrew:
 		return CellResult{Andrew: andrewBench(c.Opt)}
+	case CellFaultRecovery:
+		return CellResult{FaultRec: faultRecoveryRun(c.Opt, c.CrashAt)}
 	}
 	panic(fmt.Sprintf("harness: unknown cell kind %d", c.Kind))
 }
