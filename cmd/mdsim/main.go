@@ -40,6 +40,9 @@ func main() {
 	jsonPath := flag.String("json", "", "also write a machine-readable report to this file")
 	list := flag.Bool("list", false, "list available experiments")
 	faults := flag.Bool("faults", false, "run the fault-injection recovery sweep (per-scheme crash recovery on a faulty disk)")
+	opstats := flag.Bool("opstats", false, "run the per-scheme operation profile (virtual-time latency/stage breakdown per op type)")
+	opTrace := flag.String("optrace", "", "run the 4-user copy under -optrace-scheme and write a Chrome trace-event JSON of the operation spans to this file")
+	opTraceScheme := flag.String("optrace-scheme", "softupdates", "scheme for -optrace (conventional|flag|chains|softupdates|noorder|nvram)")
 	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram)")
 	csvPath := flag.String("csv", "", "with -trace: also write the raw per-request trace as CSV to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -94,6 +97,31 @@ func main() {
 		st := runner.Stats()
 		fmt.Fprintf(os.Stderr, "[faults: %d cells simulated, %d memo hits, %d workers]\n",
 			st.Executed, st.Hits, st.Workers)
+		return
+	}
+
+	if *opstats {
+		// Like -faults: an opt-in diagnostic outside -exp/-list, so the
+		// golden transcript pinning `-exp all` is untouched. All numbers
+		// are virtual-time, so stdout is byte-identical for any -j.
+		runner := harness.NewRunner(*jobs)
+		cfg := harness.DefaultConfig(os.Stdout)
+		cfg.Scale = harness.Scale(*scale)
+		cfg.Runner = runner
+		for _, t := range harness.OpStatsExhibit.Tables(cfg) {
+			t.Fprint(os.Stdout)
+		}
+		st := runner.Stats()
+		fmt.Fprintf(os.Stderr, "[opstats: %d cells simulated, %d memo hits, %d workers]\n",
+			st.Executed, st.Hits, st.Workers)
+		return
+	}
+
+	if *opTrace != "" {
+		if err := runOpTrace(*opTraceScheme, harness.Scale(*scale), *opTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -178,26 +206,58 @@ func main() {
 	}
 }
 
+// parseScheme maps a CLI scheme name to the fsim constant.
+func parseScheme(name string) (fsim.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "conventional":
+		return fsim.Conventional, nil
+	case "flag":
+		return fsim.SchedulerFlag, nil
+	case "chains":
+		return fsim.SchedulerChains, nil
+	case "softupdates", "soft":
+		return fsim.SoftUpdates, nil
+	case "noorder":
+		return fsim.NoOrder, nil
+	case "nvram":
+		return fsim.NVRAM, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", name)
+}
+
+// runOpTrace runs the 4-user copy with the operation-span recorder
+// attached and writes the spans as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto). The file is byte-deterministic: all
+// timestamps are virtual.
+func runOpTrace(schemeName string, scale harness.Scale, path string) error {
+	scheme, err := parseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	spans, elapsed, err := harness.OpTraceCopy(fsim.Options{Scheme: scheme}, 4, scale, f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("4-user copy under %s: mean per-user elapsed %.1fs\n", scheme, elapsed.Seconds())
+	fmt.Printf("wrote %d operation spans to %s\n", spans, path)
+	return nil
+}
+
 // runTrace reproduces the paper's measurement methodology on demand: run
 // the 4-user copy benchmark under one scheme with the driver instrumented,
 // then analyze the per-request queue and service delays.
 func runTrace(schemeName string, scale harness.Scale, csvPath string) error {
-	var scheme fsim.Scheme
-	switch strings.ToLower(schemeName) {
-	case "conventional":
-		scheme = fsim.Conventional
-	case "flag":
-		scheme = fsim.SchedulerFlag
-	case "chains":
-		scheme = fsim.SchedulerChains
-	case "softupdates", "soft":
-		scheme = fsim.SoftUpdates
-	case "noorder":
-		scheme = fsim.NoOrder
-	case "nvram":
-		scheme = fsim.NVRAM
-	default:
-		return fmt.Errorf("unknown scheme %q", schemeName)
+	scheme, err := parseScheme(schemeName)
+	if err != nil {
+		return err
 	}
 	stats, elapsed := harness.TraceCopy(fsim.Options{Scheme: scheme}, 4, scale)
 	fmt.Printf("4-user copy under %s: mean per-user elapsed %.1fs\n\n", scheme, elapsed.Seconds())

@@ -28,6 +28,7 @@ import (
 	"metaupdate/internal/fault"
 	"metaupdate/internal/ffs"
 	"metaupdate/internal/nvram"
+	"metaupdate/internal/obs"
 	"metaupdate/internal/ordering"
 	"metaupdate/internal/sim"
 )
@@ -169,6 +170,13 @@ type Options struct {
 	MaxRetries   int
 	RetryBackoff Duration
 	SpareSectors int
+
+	// Observe attaches the operation-span recorder (internal/obs): every
+	// FS operation records a virtual-time span with a per-stage latency
+	// breakdown, available as System.Obs. The recorder is a pure observer
+	// — enabling it cannot change any simulation result — and costs
+	// nothing when off (mdsim -opstats / -optrace set it).
+	Observe bool
 }
 
 func (o *Options) setDefaults() {
@@ -211,6 +219,7 @@ type System struct {
 	FS     *ffs.FS
 	Soft   *core.SoftUpdates // non-nil when Scheme == SoftUpdates
 	NV     *nvram.Scheme     // non-nil when Scheme == NVRAM
+	Obs    *obs.Recorder     // non-nil when Options.Observe
 
 	statsStart sim.Time
 }
@@ -278,9 +287,13 @@ func New(opt Options) (*System, error) {
 	})
 
 	sys := &System{Opt: opt, Eng: eng, CPU: cpu, Disk: dsk, Driver: drv, Cache: c, Soft: soft, NV: nvs}
+	if opt.Observe {
+		sys.Obs = obs.New(eng)
+	}
 	var err error
 	eng.Spawn("mount", func(p *sim.Proc) {
-		sys.FS, err = ffs.Mount(eng, cpu, c, ord, ffs.Config{AllocInit: opt.AllocInit, Costs: opt.Costs}, p)
+		sys.FS, err = ffs.Mount(eng, cpu, c, ord,
+			ffs.Config{AllocInit: opt.AllocInit, Costs: opt.Costs, Obs: sys.Obs}, p)
 	})
 	eng.Run()
 	if err != nil {
@@ -360,6 +373,13 @@ type Stats struct {
 	AvgResponseMS float64 // paper's "driver response time"
 	CacheHits     int64
 	CacheMisses   int64
+	// Write-discipline and ordering counters (windowed by ResetStats):
+	// Bwrite calls, Bdwrite calls, and requests the driver stalled on
+	// mode-specific ordering edges (always zero for the ModeIgnore
+	// schemes: No Order, Conventional, Soft Updates).
+	SyncWrites     int64
+	DelayedWrites  int64
+	OrderingStalls int64
 	// Faults is the driver's cumulative recovery activity (not windowed by
 	// ResetStats; all zero on a fault-free disk).
 	Faults dev.FaultStats
@@ -376,20 +396,25 @@ func (s *System) ResetStats() {
 	s.Driver.Trace.Reset()
 	s.CPU.Used = 0
 	s.Cache.Hits, s.Cache.Misses = 0, 0
+	s.Cache.SyncWrites, s.Cache.DelayedWrites = 0, 0
+	s.Driver.OrderingStalls = 0
 	s.statsStart = s.Eng.Now()
 }
 
 // CollectStats returns the counters accumulated since the last ResetStats.
 func (s *System) CollectStats() Stats {
 	return Stats{
-		Elapsed:       s.Eng.Now() - s.statsStart,
-		CPUTime:       s.CPU.Used,
-		DiskRequests:  s.Driver.Trace.Requests(),
-		AvgServiceMS:  s.Driver.Trace.AvgServiceMS(),
-		AvgResponseMS: s.Driver.Trace.AvgResponseMS(),
-		CacheHits:     s.Cache.Hits,
-		CacheMisses:   s.Cache.Misses,
-		Faults:        s.Driver.Faults,
-		LostWrites:    s.Cache.LostWrites,
+		Elapsed:        s.Eng.Now() - s.statsStart,
+		CPUTime:        s.CPU.Used,
+		DiskRequests:   s.Driver.Trace.Requests(),
+		AvgServiceMS:   s.Driver.Trace.AvgServiceMS(),
+		AvgResponseMS:  s.Driver.Trace.AvgResponseMS(),
+		CacheHits:      s.Cache.Hits,
+		CacheMisses:    s.Cache.Misses,
+		SyncWrites:     s.Cache.SyncWrites,
+		DelayedWrites:  s.Cache.DelayedWrites,
+		OrderingStalls: s.Driver.OrderingStalls,
+		Faults:         s.Driver.Faults,
+		LostWrites:     s.Cache.LostWrites,
 	}
 }

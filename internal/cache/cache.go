@@ -26,6 +26,7 @@ import (
 
 	"metaupdate/internal/dev"
 	"metaupdate/internal/disk"
+	"metaupdate/internal/obs"
 	"metaupdate/internal/sim"
 )
 
@@ -180,6 +181,12 @@ type Cache struct {
 	Hits, Misses int64
 	WritesIssued int64
 	ReadsIssued  int64
+	// SyncWrites counts Bwrite calls (the caller demanded durability
+	// before proceeding) and DelayedWrites counts Bdwrite calls (buffer
+	// marked for eventual write-behind) — the per-scheme write-discipline
+	// counters of the paper's comparison. Always on.
+	SyncWrites    int64
+	DelayedWrites int64
 	// Fault-path stats (all zero on a clean disk).
 	ReadErrors  int64 // Bread fills that completed with an error
 	WriteErrors int64 // buffer writes that completed with an error
@@ -252,7 +259,13 @@ func (c *Cache) Bread(p *sim.Proc, frag int64, nfrags int) (*Buf, error) {
 	}
 	if b != nil {
 		c.Hits++
-		c.waitAccessible(p, b)
+		if b.reading != nil {
+			// Piggyback on another process's in-flight fill.
+			sp := obs.SpanOf(p)
+			sp.Push(p, obs.StageCacheRead)
+			c.waitAccessible(p, b)
+			sp.Pop(p)
+		}
 		if b.readErr != nil {
 			// The fill this waiter piggybacked on failed; the buffer is
 			// already gone from the cache.
@@ -278,7 +291,10 @@ func (c *Cache) Bread(p *sim.Proc, frag int64, nfrags int) (*Buf, error) {
 	req.Buf = b.Data
 	c.drv.Submit(req)
 	c.ReadsIssued++
+	sp := obs.SpanOf(p)
+	sp.Push(p, obs.StageCacheRead)
 	req.Done.Wait(p)
+	sp.Pop(p)
 	err := req.Err
 	c.drv.Release(req)
 	r := b.reading
@@ -306,7 +322,12 @@ func (c *Cache) Getblk(p *sim.Proc, frag int64, nfrags int) *Buf {
 				frag, nfrags, b.NFrags()))
 		}
 		c.Hits++
-		c.waitAccessible(p, b)
+		if b.reading != nil {
+			sp := obs.SpanOf(p)
+			sp.Push(p, obs.StageCacheRead)
+			c.waitAccessible(p, b)
+			sp.Pop(p)
+		}
 		b.lastUse = c.eng.Now()
 		c.Hooks.OnAccess(b)
 		return b
@@ -324,13 +345,23 @@ func (c *Cache) Getblk(p *sim.Proc, frag int64, nfrags int) *Buf {
 // flight from the live buffer (no -CB), updates must wait — the write-lock
 // effect of section 3.3.
 func (c *Cache) PrepareModify(p *sim.Proc, b *Buf) {
-	for b.writing != nil && !c.cfg.CB {
-		b.writing.Wait(p)
+	if b.writing != nil && !c.cfg.CB {
+		// Write-behind backpressure: the in-flight write was issued by the
+		// syncer daemon or another process's flush of this buffer.
+		sp := obs.SpanOf(p)
+		sp.Push(p, obs.StageSyncer)
+		for b.writing != nil {
+			b.writing.Wait(p)
+		}
+		sp.Pop(p)
 	}
 }
 
 // Bdwrite marks b dirty for a delayed write (flushed by the syncer).
-func (c *Cache) Bdwrite(b *Buf) { b.Dirty = true }
+func (c *Cache) Bdwrite(b *Buf) {
+	c.DelayedWrites++
+	b.Dirty = true
+}
 
 // Bawrite issues an asynchronous write of b, returning the request (nil if
 // a write was already in flight; the buffer stays dirty and will be written
@@ -345,16 +376,27 @@ func (c *Cache) Bawrite(p *sim.Proc, b *Buf) *dev.Request {
 // driver exhausted its recovery options and the contents are NOT durable
 // (the buffer has been re-dirtied for a bounded number of later retries).
 func (c *Cache) Bwrite(p *sim.Proc, b *Buf) error {
+	c.SyncWrites++
+	sp := obs.SpanOf(p)
 	for {
 		req := c.issueWrite(p, b)
 		if req != nil {
+			// The whole wait is pushed as queue time, then split
+			// retroactively from the request's recorded timeline: time
+			// before ReadyTime was the ordering barrier, time after
+			// DispatchTime was media service.
+			t0 := c.eng.Now()
+			sp.Push(p, obs.StageQueue)
 			req.Done.Wait(p)
+			sp.PopWait(p, t0, req.ReadyTime(), req.DispatchTime())
 			return req.Err
 		}
 		// A write was already in flight (issued before this call, possibly
 		// without the caller's ordering state); wait it out and reissue.
 		if b.writing != nil {
+			sp.Push(p, obs.StageSyncer)
 			b.writing.Wait(p)
+			sp.Pop(p)
 		}
 		if !b.Dirty {
 			return nil
@@ -391,13 +433,16 @@ func (c *Cache) issueWrite(p *sim.Proc, b *Buf) *dev.Request {
 		// Bounded snapshot pool: block until there is room (a process
 		// context is required to block; engine-context issuers skip the
 		// wait and overshoot slightly, which a real ISR path would too).
-		if p != nil {
+		if p != nil && c.copyOutstanding+len(b.Data) > c.cfg.MaxCopyBytes {
+			sp := obs.SpanOf(p)
+			sp.Push(p, obs.StageSyncer)
 			for c.copyOutstanding+len(b.Data) > c.cfg.MaxCopyBytes {
 				if c.copyWait == nil {
 					c.copyWait = sim.NewCompletion()
 				}
 				c.copyWait.Wait(p)
 			}
+			sp.Pop(p)
 		}
 		// Block-copy enhancement: snapshot the source so the live buffer
 		// stays unlocked. The snapshot and submission happen without
@@ -441,7 +486,10 @@ func (c *Cache) issueWrite(p *sim.Proc, b *Buf) *dev.Request {
 	c.WritesIssued++
 	c.Hooks.WriteIssued(b, req)
 	if copyCost > 0 && c.cpu != nil && p != nil {
+		sp := obs.SpanOf(p)
+		sp.Push(p, obs.StageCPU)
 		c.cpu.Use(p, copyCost)
+		sp.Pop(p)
 	}
 	snapshotLen := 0
 	if c.cfg.CB {
@@ -642,7 +690,10 @@ func (c *Cache) makeRoom(p *sim.Proc, keep *Buf) {
 			waited := false
 			for _, b := range victims {
 				if b.writing != nil && p != nil {
+					sp := obs.SpanOf(p)
+					sp.Push(p, obs.StageSyncer)
 					b.writing.Wait(p)
+					sp.Pop(p)
 					waited = true
 					break
 				}
@@ -664,7 +715,10 @@ func (c *Cache) makeRoom(p *sim.Proc, keep *Buf) {
 			}
 		}
 		if first != nil && p != nil {
+			sp := obs.SpanOf(p)
+			sp.Push(p, obs.StageSyncer)
 			first.Done.Wait(p)
+			sp.Pop(p)
 		}
 	}
 }
@@ -763,7 +817,10 @@ func (c *Cache) SyncAll(p *sim.Proc, maxRounds int) int {
 				wrote = true
 			}
 		}
+		sp := obs.SpanOf(p)
+		sp.Push(p, obs.StageQueue)
 		c.drv.WaitIdle(p)
+		sp.Pop(p)
 		c.RunWork(p)
 		if !wrote && c.DirtyCount() == 0 && len(c.work) == 0 {
 			return round

@@ -151,6 +151,11 @@ type Request struct {
 
 	enqueueAt  sim.Time
 	dispatchAt sim.Time
+	// readyAt is when the last barrier predecessor completed (== enqueueAt
+	// for requests submitted with no predecessors). With dispatchAt it
+	// splits a waiter's blocked interval into barrier / queue / media
+	// portions for the operation-span recorder.
+	readyAt sim.Time
 }
 
 func (r *Request) end() int64 { return r.LBN + int64(r.Count) }
@@ -158,6 +163,23 @@ func (r *Request) end() int64 { return r.LBN + int64(r.Count) }
 func (r *Request) overlaps(q *Request) bool {
 	return r.LBN < q.end() && q.LBN < r.end()
 }
+
+// conflicts reports the mode-independent ordering constraint: overlapping
+// sector ranges where at least one side writes never reorder.
+func conflicts(r, q *Request) bool {
+	return r.overlaps(q) && (r.Op == disk.Write || q.Op == disk.Write)
+}
+
+// ReadyTime returns when the request became dispatchable (its last
+// ordering predecessor completed); before that instant the request was
+// barrier-blocked. Valid once the request has been submitted and its
+// barrier cleared; zero until then.
+func (r *Request) ReadyTime() sim.Time { return r.readyAt }
+
+// DispatchTime returns when the driver most recently handed the request
+// to the media (re-set on retry dispatches, matching the trace's Queue
+// accounting).
+func (r *Request) DispatchTime() sim.Time { return r.dispatchAt }
 
 // Stat is one traced request, in completion order.
 type Stat struct {
@@ -242,6 +264,14 @@ type Driver struct {
 
 	// Faults counts the driver's fault handling (all zero on a clean disk).
 	Faults FaultStats
+
+	// OrderingStalls counts requests submitted with at least one
+	// mode-specific ordering predecessor (flag or chain sequencing) —
+	// pure sector-conflict edges, which arise in every mode, are excluded.
+	// ModeIgnore drivers (No Order, Conventional, Soft Updates) therefore
+	// always report zero: the paper-shaped "requests blocked on ordering"
+	// counter. Always on; one comparison per barrier edge.
+	OrderingStalls int64
 
 	// Debug counters (cheap; retained for tests).
 	DbgFlaggedSubmitted int64
@@ -385,6 +415,9 @@ func (d *Driver) Submit(r *Request) *Request {
 	r.enqueueAt = d.eng.Now()
 
 	d.computeBarrier(r)
+	if r.nwait == 0 {
+		r.readyAt = r.enqueueAt
+	}
 	if d.obs != nil {
 		sort.Slice(d.predScratch, func(i, j int) bool { return d.predScratch[i] < d.predScratch[j] })
 		d.obs.RequestSubmitted(r, d.predScratch)
@@ -416,10 +449,14 @@ func (d *Driver) Submit(r *Request) *Request {
 func (d *Driver) computeBarrier(r *Request) {
 	collect := d.obs != nil
 	d.predScratch = d.predScratch[:0]
+	ordered := false
 	add := func(q *Request) {
 		if predecessorOf(d.cfg, r, q, d.lastFlagID) {
 			q.blocks = append(q.blocks, r)
 			r.nwait++
+			if !conflicts(r, q) {
+				ordered = true
+			}
 			if collect {
 				d.predScratch = append(d.predScratch, q.ID)
 			}
@@ -431,6 +468,9 @@ func (d *Driver) computeBarrier(r *Request) {
 	for _, q := range d.queue {
 		add(q)
 	}
+	if ordered {
+		d.OrderingStalls++
+	}
 }
 
 // predecessorOf reports whether pending request q must complete before r
@@ -440,7 +480,7 @@ func (d *Driver) computeBarrier(r *Request) {
 func predecessorOf(cfg Config, r, q *Request, lastFlagID uint64) bool {
 	// Conflicts: overlapping ranges where at least one side writes never
 	// reorder, in every mode.
-	if r.overlaps(q) && (r.Op == disk.Write || q.Op == disk.Write) {
+	if conflicts(r, q) {
 		return true
 	}
 	switch cfg.Mode {
@@ -685,6 +725,9 @@ func (d *Driver) complete(batch []*Request, acc disk.Access) {
 	for _, r := range batch {
 		for i, blocked := range r.blocks {
 			blocked.nwait--
+			if blocked.nwait == 0 {
+				blocked.readyAt = now
+			}
 			r.blocks[i] = nil
 		}
 		r.blocks = r.blocks[:0]
@@ -788,6 +831,9 @@ func (d *Driver) failBatch(batch []*Request, err error, now sim.Time) {
 		d.Faults.Errors++
 		for i, blocked := range r.blocks {
 			blocked.nwait--
+			if blocked.nwait == 0 {
+				blocked.readyAt = now
+			}
 			r.blocks[i] = nil
 		}
 		r.blocks = r.blocks[:0]
@@ -840,6 +886,9 @@ func (d *Driver) splitReadBatch(batch []*Request, bad int64, now sim.Time) {
 			d.Faults.Errors++
 			for i, blocked := range r.blocks {
 				blocked.nwait--
+				if blocked.nwait == 0 {
+					blocked.readyAt = now
+				}
 				r.blocks[i] = nil
 			}
 			r.blocks = r.blocks[:0]

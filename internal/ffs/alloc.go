@@ -104,7 +104,7 @@ func (fs *FS) allocFrags(p *sim.Proc, n int, cg int32) (int32, error) {
 	if n < 1 || n > BlockFrags {
 		panic(fmt.Sprintf("ffs: allocFrags(%d)", n))
 	}
-	fs.allocMu.Lock(p)
+	fs.lockAlloc(p)
 	defer fs.allocMu.Unlock(fs.eng)
 	fs.charge(p, fs.cfg.Costs.AllocOp)
 
@@ -158,7 +158,7 @@ func (fs *FS) tryExtendFrags(p *sim.Proc, start int32, oldN, newN int) bool {
 	if start%BlockFrags+int32(newN) > BlockFrags {
 		return false
 	}
-	fs.allocMu.Lock(p)
+	fs.lockAlloc(p)
 	defer fs.allocMu.Unlock(fs.eng)
 	fs.charge(p, fs.cfg.Costs.AllocOp)
 	fb, err := fs.fbmapBuf(p)
@@ -179,7 +179,7 @@ func (fs *FS) tryExtendFrags(p *sim.Proc, start int32, oldN, newN int) bool {
 
 // allocInode allocates a free inode number.
 func (fs *FS) allocInode(p *sim.Proc) (Ino, error) {
-	fs.allocMu.Lock(p)
+	fs.lockAlloc(p)
 	defer fs.allocMu.Unlock(fs.eng)
 	fs.charge(p, fs.cfg.Costs.AllocOp)
 	ib, err := fs.ibmapBuf(p)
@@ -220,7 +220,7 @@ func (fs *FS) allocInode(p *sim.Proc) (Ino, error) {
 // allows re-use (immediately for No Order; after the relevant disk write
 // for Conventional, Flag and Chains; from a workitem for Soft Updates).
 func (fs *FS) ApplyFree(p *sim.Proc, rec *FreeRec) {
-	fs.allocMu.Lock(p)
+	fs.lockAlloc(p)
 	defer fs.allocMu.Unlock(fs.eng)
 	fs.charge(p, fs.cfg.Costs.AllocOp)
 	fb, err := fs.fbmapBuf(p)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"metaupdate/internal/cache"
+	"metaupdate/internal/obs"
 	"metaupdate/internal/sim"
 )
 
@@ -52,6 +53,9 @@ type Config struct {
 	// blocks are always initialized in order, as in real FFS derivatives.
 	AllocInit bool
 	Costs     Costs
+	// Obs, when non-nil, records an operation span for every FS entry
+	// point (internal/obs). Nil disables tracing at zero cost.
+	Obs *obs.Recorder
 }
 
 // FS is a mounted file system.
@@ -123,11 +127,25 @@ func (fs *FS) Config() Config { return fs.cfg }
 
 func (fs *FS) charge(p *sim.Proc, d sim.Duration) {
 	if fs.cpu != nil {
+		sp := obs.SpanOf(p)
+		sp.Push(p, obs.StageCPU)
 		fs.cpu.Use(p, d)
+		sp.Pop(p)
 	}
 }
 
 func (fs *FS) count(op string) { fs.OpCount[op]++ }
+
+// begin opens the operation span for an FS entry point (nil when tracing
+// is off or the entry is nested inside another traced operation).
+func (fs *FS) begin(p *sim.Proc, op obs.Op) *obs.Span {
+	return fs.cfg.Obs.Begin(p, op)
+}
+
+// end closes sp (no-op on nil).
+func (fs *FS) end(p *sim.Proc, sp *obs.Span) {
+	fs.cfg.Obs.End(p, sp)
+}
 
 // lockInode acquires the per-inode lock.
 func (fs *FS) lockInode(p *sim.Proc, ino Ino) {
@@ -136,7 +154,19 @@ func (fs *FS) lockInode(p *sim.Proc, ino Ino) {
 		mu = &sim.Mutex{}
 		fs.inoLocks[ino] = mu
 	}
+	sp := obs.SpanOf(p)
+	sp.Push(p, obs.StageLock)
 	mu.Lock(p)
+	sp.Pop(p)
+}
+
+// lockAlloc acquires the allocation lock (span-tagged like lockInode;
+// unlock stays a plain fs.allocMu.Unlock since it never blocks).
+func (fs *FS) lockAlloc(p *sim.Proc) {
+	sp := obs.SpanOf(p)
+	sp.Push(p, obs.StageLock)
+	fs.allocMu.Lock(p)
+	sp.Pop(p)
 }
 
 func (fs *FS) unlockInode(ino Ino) {
@@ -201,6 +231,8 @@ func (fs *FS) putInode(p *sim.Proc, ip *Inode, b *cache.Buf, off int) {
 
 // Stat returns the inode's current state (a read-only operation).
 func (fs *FS) Stat(p *sim.Proc, ino Ino) (Inode, error) {
+	sp := fs.begin(p, obs.OpStat)
+	defer fs.end(p, sp)
 	fs.count("stat")
 	fs.charge(p, fs.cfg.Costs.Syscall+fs.cfg.Costs.InodeOp)
 	ip, b, _, err := fs.getInode(p, ino)
@@ -217,6 +249,8 @@ func (fs *FS) Stat(p *sim.Proc, ino Ino) (Inode, error) {
 // Sync flushes all dirty state (delayed writes, workitems) and waits for
 // the disk to go idle. Benchmarks use it to bound an experiment.
 func (fs *FS) Sync(p *sim.Proc) {
+	sp := fs.begin(p, obs.OpSync)
+	defer fs.end(p, sp)
 	fs.count("sync")
 	fs.cache.SyncAll(p, 64)
 }

@@ -1,6 +1,7 @@
 package ffs
 
 import (
+	"metaupdate/internal/obs"
 	"metaupdate/internal/sim"
 )
 
@@ -19,6 +20,8 @@ import (
 // delays when a long list of dependent writes has formed" — visible here
 // as rounds that wait out the driver queue).
 func (fs *FS) Fsync(p *sim.Proc, ino Ino) error {
+	sp := fs.begin(p, obs.OpFsync)
+	defer fs.end(p, sp)
 	fs.count("fsync")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	fs.lockInode(p, ino)

@@ -2,6 +2,7 @@ package ffs
 
 import (
 	"metaupdate/internal/cache"
+	"metaupdate/internal/obs"
 	"metaupdate/internal/sim"
 )
 
@@ -30,6 +31,8 @@ func (fs *FS) rele(b *cache.Buf) {
 
 // Lookup resolves name in directory dir.
 func (fs *FS) Lookup(p *sim.Proc, dir Ino, name string) (Ino, error) {
+	sp := fs.begin(p, obs.OpLookup)
+	defer fs.end(p, sp)
 	fs.count("lookup")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	fs.lockInode(p, dir)
@@ -123,6 +126,8 @@ func (fs *FS) dirAddEntry(p *sim.Proc, dir Ino, name string, ino Ino, ftype uint
 
 // Create makes a new regular file in dir.
 func (fs *FS) Create(p *sim.Proc, dir Ino, name string) (Ino, error) {
+	sp := fs.begin(p, obs.OpCreate)
+	defer fs.end(p, sp)
 	fs.count("create")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	if err := validName(name); err != nil {
@@ -168,6 +173,8 @@ func (fs *FS) Create(p *sim.Proc, dir Ino, name string) (Ino, error) {
 
 // Mkdir makes a new directory in dir.
 func (fs *FS) Mkdir(p *sim.Proc, dir Ino, name string) (Ino, error) {
+	sp := fs.begin(p, obs.OpMkdir)
+	defer fs.end(p, sp)
 	fs.count("mkdir")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	if err := validName(name); err != nil {
@@ -246,6 +253,8 @@ func (fs *FS) Mkdir(p *sim.Proc, dir Ino, name string) (Ino, error) {
 
 // Link adds a new name for an existing file (classic hard link).
 func (fs *FS) Link(p *sim.Proc, ino Ino, dir Ino, name string) error {
+	sp := fs.begin(p, obs.OpLink)
+	defer fs.end(p, sp)
 	fs.count("link")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	if err := validName(name); err != nil {
@@ -289,6 +298,8 @@ func (fs *FS) Link(p *sim.Proc, ino Ino, dir Ino, name string) error {
 
 // Unlink removes name (a regular file link) from dir.
 func (fs *FS) Unlink(p *sim.Proc, dir Ino, name string) error {
+	sp := fs.begin(p, obs.OpUnlink)
+	defer fs.end(p, sp)
 	fs.count("unlink")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	fs.lockInode(p, dir)
@@ -317,6 +328,8 @@ func (fs *FS) Unlink(p *sim.Proc, dir Ino, name string) error {
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(p *sim.Proc, dir Ino, name string) error {
+	sp := fs.begin(p, obs.OpRmdir)
+	defer fs.end(p, sp)
 	fs.count("rmdir")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	fs.lockInode(p, dir)
@@ -374,6 +387,8 @@ func (fs *FS) dirEmpty(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff int)
 // entry is replaced in place (the sector-atomic overwrite satisfies rule 1
 // for the pair); the classic add-then-remove ordering covers the rest.
 func (fs *FS) Rename(p *sim.Proc, sdir Ino, sname string, ddir Ino, dname string) error {
+	sp := fs.begin(p, obs.OpRename)
+	defer fs.end(p, sp)
 	fs.count("rename")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	if err := validName(dname); err != nil {
@@ -529,6 +544,8 @@ func (fs *FS) freeFile(p *sim.Proc, ino Ino, ip *Inode, ib *cache.Buf, ioff int)
 // WriteAt writes data at byte offset off (sequential appends and in-place
 // overwrites; holes are not supported). It extends the file as needed.
 func (fs *FS) WriteAt(p *sim.Proc, ino Ino, off uint64, data []byte) error {
+	sp := fs.begin(p, obs.OpWrite)
+	defer fs.end(p, sp)
 	fs.count("write")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	fs.lockInode(p, ino)
@@ -589,6 +606,8 @@ func (fs *FS) WriteAt(p *sim.Proc, ino Ino, off uint64, data []byte) error {
 
 // ReadAt reads len(buf) bytes from offset off; short reads return the count.
 func (fs *FS) ReadAt(p *sim.Proc, ino Ino, off uint64, buf []byte) (int, error) {
+	sp := fs.begin(p, obs.OpRead)
+	defer fs.end(p, sp)
 	fs.count("read")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	fs.lockInode(p, ino)
@@ -627,6 +646,8 @@ func (fs *FS) ReadAt(p *sim.Proc, ino Ino, off uint64, buf []byte) (int, error) 
 
 // ReadDir lists the live entries of a directory (excluding "." and "..").
 func (fs *FS) ReadDir(p *sim.Proc, dir Ino) ([]Dirent, error) {
+	sp := fs.begin(p, obs.OpReadDir)
+	defer fs.end(p, sp)
 	fs.count("readdir")
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	fs.lockInode(p, dir)

@@ -28,6 +28,10 @@ const (
 	// CellFaultRecovery runs the metadata churn under a fault plan, pulls
 	// the plug at CrashAt, recovers the image, and reports what survived.
 	CellFaultRecovery
+	// CellOpProfile runs the paired copy/remove benchmark with the
+	// operation-span recorder attached and reports per-op latency/stage
+	// digests plus per-scheme write-discipline counters for both phases.
+	CellOpProfile
 )
 
 // Cell is one self-contained deterministic simulation: a complete system
@@ -71,6 +75,7 @@ type CellResult struct {
 	SdetWall   sim.Duration         // CellSdet: wall virtual time for all scripts
 	Andrew     workload.AndrewTimes // CellAndrew
 	FaultRec   FaultRecovery        // CellFaultRecovery
+	OpProf     OpProfile            // CellOpProfile
 	Wall       time.Duration        // real execution time of the simulation
 }
 
@@ -86,13 +91,13 @@ func (c Cell) Fingerprint() string {
 		dp = fmt.Sprintf("%+v", *o.DiskParams)
 	}
 	return fmt.Sprintf(
-		"k%d|sch%d|sem%d|nr%t|cb%t|exp%t|ai%t|bf%t|ign%t|db%d|fsb%d|ni%d|cby%d|nv%d|sf%d|costs%+v|dp{%s}|flt{%s}|mr%d|rb%d|sp%d|u%d|sc%g|rm%t|f5%d|tf%d|cmd%d|ca%d",
+		"k%d|sch%d|sem%d|nr%t|cb%t|exp%t|ai%t|bf%t|ign%t|db%d|fsb%d|ni%d|cby%d|nv%d|sf%d|costs%+v|dp{%s}|flt{%s}|mr%d|rb%d|sp%d|ob%t|u%d|sc%g|rm%t|f5%d|tf%d|cmd%d|ca%d",
 		c.Kind, o.Scheme, o.Sem, o.NR, o.CB, o.Explicit, o.AllocInit,
 		o.BarrierFrees, o.IgnoreOrdering, o.DiskBytes, o.FSBytes, o.NInodes,
 		o.CacheBytes, o.NVRAMBytes, o.SyncerFraction, o.Costs, dp,
 		o.Faults.String(), o.MaxRetries, o.RetryBackoff, o.SpareSectors,
-		c.Users, float64(c.Scale), c.Remove, c.Fig5, c.TotalFiles, c.Commands,
-		c.CrashAt)
+		o.Observe, c.Users, float64(c.Scale), c.Remove, c.Fig5, c.TotalFiles,
+		c.Commands, c.CrashAt)
 }
 
 // run executes the cell's simulation from scratch. It is a pure function
@@ -110,6 +115,8 @@ func (c Cell) run() CellResult {
 		return CellResult{Andrew: andrewBench(c.Opt)}
 	case CellFaultRecovery:
 		return CellResult{FaultRec: faultRecoveryRun(c.Opt, c.CrashAt)}
+	case CellOpProfile:
+		return CellResult{OpProf: opProfileRun(c.Opt, c.Users, c.Scale)}
 	}
 	panic(fmt.Sprintf("harness: unknown cell kind %d", c.Kind))
 }

@@ -22,6 +22,7 @@ import (
 	"metaupdate/internal/cache"
 	"metaupdate/internal/dev"
 	"metaupdate/internal/ffs"
+	"metaupdate/internal/obs"
 	"metaupdate/internal/sim"
 )
 
@@ -80,7 +81,10 @@ func (l *Log) append(p *sim.Proc, c *cache.Cache, cpu *sim.CPU, b *cache.Buf) {
 		l.flushOldest(p, c)
 	}
 	if cpu != nil && p != nil {
+		sp := obs.SpanOf(p)
+		sp.Push(p, obs.StageCPU)
 		cpu.Use(p, l.CopyPerKB*sim.Duration((len(b.Data)+1023)/1024))
+		sp.Pop(p)
 	}
 	l.nextSeq++
 	rec := &Record{Seq: l.nextSeq, Frag: b.Frag, Data: append([]byte(nil), b.Data...)}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"testing"
+
+	"metaupdate/internal/sim"
+)
+
+// TestAllocFreeDisabledPath pins design constraint 2 from the package doc:
+// with no recorder attached, every observability hook the hot paths call
+// (SpanOf, Push/Pop/PopWait on the resulting nil span, Begin/End on a nil
+// recorder) is allocation-free, so enabling the instrumentation sites
+// cannot regress the engine's zero-allocation steady state. The name
+// matches the CI alloc-regression job's -run 'TestAllocFree' filter, which
+// also runs it under -race.
+func TestAllocFreeDisabledPath(t *testing.T) {
+	eng := sim.NewEngine()
+	var nilRec *Recorder
+	eng.Spawn("u", func(p *sim.Proc) {
+		if p.Obs != nil {
+			t.Error("fresh proc carries an Obs value")
+		}
+		checks := []struct {
+			name string
+			fn   func()
+		}{
+			{"SpanOf", func() {
+				if SpanOf(p) != nil {
+					t.Fatal("SpanOf returned a span with tracing disabled")
+				}
+			}},
+			{"Push/Pop", func() {
+				sp := SpanOf(p)
+				sp.Push(p, StageCPU)
+				sp.Pop(p)
+			}},
+			{"PopWait", func() {
+				sp := SpanOf(p)
+				sp.Push(p, StageQueue)
+				sp.PopWait(p, p.Now(), p.Now(), p.Now())
+			}},
+			{"Begin/End", func() {
+				sp := nilRec.Begin(p, OpCreate)
+				if sp != nil {
+					t.Fatal("nil recorder returned a span")
+				}
+				nilRec.End(p, sp)
+			}},
+			{"Reset/Spans/Profile", func() {
+				nilRec.Reset()
+				if nilRec.Spans() != nil || nilRec.Profile() != nil {
+					t.Fatal("nil recorder returned data")
+				}
+			}},
+		}
+		for _, c := range checks {
+			if allocs := testing.AllocsPerRun(200, c.fn); allocs != 0 {
+				t.Errorf("%s: %v allocs/run with tracing disabled, want 0", c.name, allocs)
+			}
+		}
+	})
+	eng.Run()
+}
+
+// TestAllocFreeSpanOfNil covers the daemon-context case (no process at
+// all), which several cache paths hit.
+func TestAllocFreeSpanOfNil(t *testing.T) {
+	if allocs := testing.AllocsPerRun(200, func() {
+		sp := SpanOf(nil)
+		sp.Push(nil, StageCPU)
+		sp.Pop(nil)
+	}); allocs != 0 {
+		t.Errorf("SpanOf(nil) path: %v allocs/run, want 0", allocs)
+	}
+}

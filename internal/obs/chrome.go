@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"metaupdate/internal/sim"
+)
+
+// WriteChromeTrace renders the recorded spans as Chrome trace-event JSON
+// (load in chrome://tracing or Perfetto). Each span becomes one complete
+// ("X") event on a track per simulated process, with the per-stage
+// breakdown in args; timestamps are virtual microseconds since simulation
+// start. The output is hand-rolled rather than marshaled so it is
+// byte-deterministic: field order, number formatting, and event order
+// (span completion order) are all fixed.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+		}
+		first = false
+	}
+	// One thread-name metadata event per distinct process, in order of
+	// first appearance (deterministic: spans complete in engine order).
+	named := make(map[int]bool)
+	for i := range r.spans {
+		s := &r.spans[i]
+		if named[s.Proc] {
+			continue
+		}
+		named[s.Proc] = true
+		sep()
+		fmt.Fprintf(bw, "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%q}}",
+			s.Proc, s.Name)
+	}
+	for i := range r.spans {
+		s := &r.spans[i]
+		sep()
+		fmt.Fprintf(bw, "{\"name\":%q,\"cat\":\"fsop\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{",
+			s.Op.String(), s.Proc, usec(s.Start), usec(s.End-s.Start))
+		for st := Stage(0); st < NumStages; st++ {
+			if st > 0 {
+				bw.WriteString(",")
+			}
+			fmt.Fprintf(bw, "\"%s_us\":%s", st, usec(s.Seg[st]))
+		}
+		bw.WriteString("}}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usec formats a virtual-nanosecond quantity as decimal microseconds with
+// exactly three fractional digits — integer math only, so the rendering is
+// platform- and locale-independent.
+func usec(t sim.Time) string {
+	return fmt.Sprintf("%d.%03d", t/1000, t%1000)
+}

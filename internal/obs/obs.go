@@ -1,0 +1,348 @@
+// Package obs is the operation-level observability layer: a virtual-time
+// span recorder that attributes every nanosecond of a file system
+// operation's client-visible latency to one of a small set of stages
+// (CPU, cache-miss read fill, lock wait, dependency-barrier wait, driver
+// queue, media service, syncer/write-behind backpressure).
+//
+// The paper's core claims are about where time goes per scheme; the
+// driver-level trace (internal/trace) only sees individual disk requests.
+// A span opens when an operation enters the file system, rides along on
+// sim.Proc.Obs through every layer the operation touches, and closes when
+// the operation returns — so the recorded stage segments partition the
+// end-to-end latency exactly, by construction (see the Span invariant
+// below).
+//
+// Design constraints, in priority order:
+//
+//  1. Observer only. The recorder never charges CPU, sleeps, or touches
+//     the event queue, so enabling it cannot perturb virtual time: traced
+//     and untraced runs of the same workload produce identical simulation
+//     results, and the golden transcript is unaffected.
+//  2. Zero overhead when disabled. With no recorder attached, every hook
+//     degenerates to a nil check on a nil *Span (or nil *Recorder)
+//     receiver — no allocation, no branch into recording code. This
+//     preserves the engine's zero-allocation hot path and is guarded by
+//     testing.AllocsPerRun tests.
+//  3. Deterministic output. All state is engine-local (no package
+//     globals); spans are recorded in completion order, which is fixed by
+//     the engine's (time, sequence) event ordering — so reports and
+//     Chrome traces are byte-identical at any -j and across memo reuse.
+package obs
+
+import (
+	"metaupdate/internal/sim"
+	"metaupdate/internal/trace"
+)
+
+// Stage classifies where a slice of an operation's latency was spent.
+type Stage uint8
+
+// The stage taxonomy (DESIGN.md §11). StageOther is the residual: span
+// time not covered by a more specific stage — path traversal bookkeeping
+// between charges, hook execution, and any wait a future instrumentation
+// pass has not yet classified.
+const (
+	// StageCPU: simulated CPU charged by the file system or the cache's
+	// write-copy path (quantum contention included — CPU time here is
+	// "holding or waiting for the CPU to run this operation's code").
+	StageCPU Stage = iota
+	// StageCacheRead: blocked filling a buffer-cache miss (or waiting for
+	// another process's in-flight fill of the same block).
+	StageCacheRead
+	// StageLock: blocked on a file system mutex (per-inode lock,
+	// allocation lock).
+	StageLock
+	// StageBarrier: a synchronous write waiting in the driver for ordering
+	// predecessors — the part of the queue delay caused purely by the
+	// scheme's sequencing rules.
+	StageBarrier
+	// StageQueue: a synchronous write dispatchable but waiting its turn in
+	// the driver queue (seek-order scheduling, busy media).
+	StageQueue
+	// StageMedia: a synchronous write being serviced by the disk.
+	StageMedia
+	// StageSyncer: blocked behind write-behind machinery — an in-flight
+	// delayed/async write of the buffer (issued by the syncer daemon or
+	// another process), copy-buffer backpressure, or eviction waits.
+	StageSyncer
+	// StageOther: residual span time (see above).
+	StageOther
+
+	// NumStages sizes per-stage arrays.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"cpu", "cacheread", "lock", "barrier", "queue", "media", "syncer", "other",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// Op identifies the file system operation a span measures.
+type Op uint8
+
+// One value per client-visible FS entry point.
+const (
+	OpLookup Op = iota
+	OpCreate
+	OpMkdir
+	OpLink
+	OpUnlink
+	OpRmdir
+	OpRename
+	OpRead
+	OpWrite
+	OpReadDir
+	OpStat
+	OpFsync
+	OpSync
+
+	// NumOps sizes per-op arrays.
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"lookup", "create", "mkdir", "link", "unlink", "rmdir", "rename",
+	"read", "write", "readdir", "stat", "fsync", "sync",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Span accumulates one operation's stage segments. At every instant a span
+// is open, exactly one stage is "current" (a small explicit stack, so
+// nested regions like a cache-miss fill inside a lock hold nest cleanly);
+// all virtual time between Begin and End is credited to whichever stage
+// was current as it passed. That construction is the partition invariant:
+//
+//	sum(Seg) == End - Start, exactly, in virtual nanoseconds
+//
+// with no gaps (time always lands in the current stage) and no overlaps
+// (segments only ever transfer between stages, never duplicate).
+//
+// All methods are nil-receiver safe; a nil *Span is the disabled path.
+type Span struct {
+	op    Op
+	proc  int
+	name  string
+	start sim.Time
+
+	// curSince is when the current stage (stack[depth]) became current.
+	curSince sim.Time
+	depth    int
+	stack    [8]Stage
+	seg      [NumStages]sim.Duration
+}
+
+// SpanOf returns the span riding on p, or nil when tracing is disabled or
+// p is a daemon/engine context with no operation in flight.
+func SpanOf(p *sim.Proc) *Span {
+	if p == nil {
+		return nil
+	}
+	sp, _ := p.Obs.(*Span)
+	return sp
+}
+
+// Push makes st the current stage. Every Push must be balanced by exactly
+// one Pop (or PopWait) before the operation returns; instrumentation sites
+// therefore bracket a single blocking call or charge with no early return
+// in between.
+func (sp *Span) Push(p *sim.Proc, st Stage) {
+	if sp == nil {
+		return
+	}
+	now := p.Now()
+	sp.seg[sp.stack[sp.depth]] += now - sp.curSince
+	sp.curSince = now
+	sp.depth++
+	sp.stack[sp.depth] = st
+}
+
+// Pop credits the time since the matching Push to the pushed stage and
+// restores the enclosing stage.
+func (sp *Span) Pop(p *sim.Proc) {
+	if sp == nil {
+		return
+	}
+	now := p.Now()
+	sp.seg[sp.stack[sp.depth]] += now - sp.curSince
+	sp.curSince = now
+	sp.depth--
+}
+
+// PopWait closes a StageQueue region that covered a blocking wait on one
+// disk request, retroactively splitting the wait three ways using the
+// request's recorded timeline: [t0, ready) was the dependency barrier
+// (predecessors not yet on disk), [dispatch, now) was media service, and
+// the remainder stays in the queue stage. The split is a pure transfer
+// between stages, so the partition invariant is preserved; clamping keeps
+// it exact even when ready precedes the wait (request was dispatchable
+// immediately) or dispatch raced ahead of the waiter.
+func (sp *Span) PopWait(p *sim.Proc, t0, ready, dispatch sim.Time) {
+	if sp == nil {
+		return
+	}
+	now := p.Now()
+	sp.Pop(p)
+	if now <= t0 {
+		return
+	}
+	if ready < t0 {
+		ready = t0
+	}
+	if ready > now {
+		ready = now
+	}
+	if dispatch < ready {
+		dispatch = ready
+	}
+	if dispatch > now {
+		dispatch = now
+	}
+	barrier := ready - t0
+	media := now - dispatch
+	sp.seg[StageQueue] -= barrier + media
+	sp.seg[StageBarrier] += barrier
+	sp.seg[StageMedia] += media
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	Op    Op
+	Proc  int    // sim.Proc.ID
+	Name  string // sim.Proc.Name
+	Start sim.Time
+	End   sim.Time
+	Seg   [NumStages]sim.Duration
+}
+
+// Recorder collects completed spans for one engine. It is engine-local
+// (simulated time is single-threaded, so no locking) and owns a small
+// free list so the enabled steady state allocates only for the record
+// log's amortized growth.
+type Recorder struct {
+	eng   *sim.Engine
+	spans []SpanRecord
+	free  []*Span
+}
+
+// New returns an empty recorder for eng.
+func New(eng *sim.Engine) *Recorder {
+	return &Recorder{eng: eng}
+}
+
+// Begin opens a span for op on p and attaches it as p's active span. It
+// returns nil — and records nothing — when the recorder is disabled (nil),
+// p is an engine context, or p already carries a span: a nested entry
+// point (Sync driving FinishRemove work, for example) folds into the
+// operation that caused it, keeping the outer span's partition exact.
+func (r *Recorder) Begin(p *sim.Proc, op Op) *Span {
+	if r == nil || p == nil || p.Obs != nil {
+		return nil
+	}
+	var sp *Span
+	if n := len(r.free); n > 0 {
+		sp = r.free[n-1]
+		r.free = r.free[:n-1]
+		*sp = Span{}
+	} else {
+		sp = &Span{}
+	}
+	now := r.eng.Now()
+	sp.op = op
+	sp.proc = p.ID
+	sp.name = p.Name
+	sp.start = now
+	sp.curSince = now
+	sp.stack[0] = StageOther
+	p.Obs = sp
+	return sp
+}
+
+// End closes sp, credits the tail to the current (root) stage, appends the
+// record, and detaches the span from p. A nil sp is the disabled path.
+func (r *Recorder) End(p *sim.Proc, sp *Span) {
+	if sp == nil {
+		return
+	}
+	now := r.eng.Now()
+	sp.seg[sp.stack[sp.depth]] += now - sp.curSince
+	if sp.depth != 0 {
+		panic("obs: span ended with unbalanced stage stack")
+	}
+	r.spans = append(r.spans, SpanRecord{
+		Op: sp.op, Proc: sp.proc, Name: sp.name,
+		Start: sp.start, End: now, Seg: sp.seg,
+	})
+	p.Obs = nil
+	r.free = append(r.free, sp)
+}
+
+// Reset discards recorded spans (the start of a measurement window).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.spans = r.spans[:0]
+}
+
+// Spans returns the completed spans in completion order. The slice aliases
+// the recorder's log; callers must not retain it across Reset.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// OpDigest aggregates every recorded span of one operation type.
+type OpDigest struct {
+	Op    Op
+	Count int
+	// Total is the summed end-to-end latency; Seg the summed per-stage
+	// time. sum(Seg) == Total by the partition invariant.
+	Total sim.Duration
+	Seg   [NumStages]sim.Duration
+	// Lat is the per-operation latency distribution in milliseconds.
+	Lat trace.Dist
+}
+
+// Profile aggregates the recorded spans into per-op-type digests, ordered
+// by Op. Ops with no spans are omitted.
+func (r *Recorder) Profile() []OpDigest {
+	if r == nil {
+		return nil
+	}
+	var agg [NumOps]OpDigest
+	var lat [NumOps]trace.Digest
+	for i := range r.spans {
+		s := &r.spans[i]
+		d := &agg[s.Op]
+		d.Count++
+		d.Total += s.End - s.Start
+		for st, v := range s.Seg {
+			d.Seg[st] += v
+		}
+		lat[s.Op].Add((s.End - s.Start).Milliseconds())
+	}
+	out := make([]OpDigest, 0, NumOps)
+	for op := Op(0); op < NumOps; op++ {
+		if agg[op].Count == 0 {
+			continue
+		}
+		agg[op].Op = op
+		agg[op].Lat = lat[op].Dist()
+		out = append(out, agg[op])
+	}
+	return out
+}

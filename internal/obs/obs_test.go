@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"metaupdate/internal/sim"
+)
+
+// runSpan drives one spawned process through fn with a recorder attached
+// and returns the single recorded span.
+func runSpan(t *testing.T, op Op, fn func(p *sim.Proc, sp *Span)) SpanRecord {
+	t.Helper()
+	eng := sim.NewEngine()
+	r := New(eng)
+	eng.Spawn("u", func(p *sim.Proc) {
+		sp := r.Begin(p, op)
+		fn(p, sp)
+		r.End(p, sp)
+	})
+	eng.Run()
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	return spans[0]
+}
+
+// segSum is the partition invariant's left-hand side.
+func segSum(rec SpanRecord) sim.Duration {
+	var sum sim.Duration
+	for _, v := range rec.Seg {
+		sum += v
+	}
+	return sum
+}
+
+func TestSpanStageAttribution(t *testing.T) {
+	rec := runSpan(t, OpCreate, func(p *sim.Proc, sp *Span) {
+		p.Sleep(3) // root stage (other)
+		sp.Push(p, StageCPU)
+		p.Sleep(5)
+		sp.Pop(p)
+		p.Sleep(2) // other again
+		sp.Push(p, StageLock)
+		p.Sleep(7)
+		sp.Push(p, StageCacheRead) // nested inside the lock wait
+		p.Sleep(11)
+		sp.Pop(p)
+		p.Sleep(1) // back in lock
+		sp.Pop(p)
+	})
+	want := [NumStages]sim.Duration{}
+	want[StageOther] = 3 + 2
+	want[StageCPU] = 5
+	want[StageLock] = 7 + 1
+	want[StageCacheRead] = 11
+	if rec.Seg != want {
+		t.Errorf("Seg = %v, want %v", rec.Seg, want)
+	}
+	if rec.Op != OpCreate {
+		t.Errorf("Op = %v, want %v", rec.Op, OpCreate)
+	}
+	if got, total := segSum(rec), rec.End-rec.Start; got != total {
+		t.Errorf("sum(Seg) = %d, End-Start = %d", got, total)
+	}
+}
+
+func TestPopWaitThreeWaySplit(t *testing.T) {
+	// Wait 10 ns in StageQueue; the request became ready (predecessors on
+	// disk) 2 ns in and dispatched to the media 7 ns in. The wait must
+	// split barrier=2, queue=5, media=3.
+	rec := runSpan(t, OpWrite, func(p *sim.Proc, sp *Span) {
+		t0 := p.Now()
+		sp.Push(p, StageQueue)
+		p.Sleep(10)
+		sp.PopWait(p, t0, t0+2, t0+7)
+	})
+	if rec.Seg[StageBarrier] != 2 || rec.Seg[StageQueue] != 5 || rec.Seg[StageMedia] != 3 {
+		t.Errorf("split barrier=%d queue=%d media=%d, want 2/5/3",
+			rec.Seg[StageBarrier], rec.Seg[StageQueue], rec.Seg[StageMedia])
+	}
+	if got, total := segSum(rec), rec.End-rec.Start; got != total {
+		t.Errorf("sum(Seg) = %d, End-Start = %d", got, total)
+	}
+}
+
+func TestPopWaitClamping(t *testing.T) {
+	cases := []struct {
+		name                  string
+		ready, dispatch       sim.Duration // offsets from t0; may exceed the wait
+		barrier, queue, media sim.Duration
+	}{
+		{"ready before wait", -5, 4, 0, 4, 6},    // ready clamps to t0
+		{"dispatch after wake", 2, 15, 2, 8, 0},  // dispatch clamps to now
+		{"both outside", -3, 12, 0, 10, 0},       // degenerates to pure queue
+		{"dispatch before ready", 6, 1, 6, 0, 4}, // dispatch clamps up to ready
+		{"instant ready", 0, 0, 0, 0, 10},        // all media
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := runSpan(t, OpWrite, func(p *sim.Proc, sp *Span) {
+				t0 := p.Now()
+				sp.Push(p, StageQueue)
+				p.Sleep(10)
+				sp.PopWait(p, t0, t0+sim.Time(tc.ready), t0+sim.Time(tc.dispatch))
+			})
+			if rec.Seg[StageBarrier] != tc.barrier || rec.Seg[StageQueue] != tc.queue || rec.Seg[StageMedia] != tc.media {
+				t.Errorf("split barrier=%d queue=%d media=%d, want %d/%d/%d",
+					rec.Seg[StageBarrier], rec.Seg[StageQueue], rec.Seg[StageMedia],
+					tc.barrier, tc.queue, tc.media)
+			}
+			if got, total := segSum(rec), rec.End-rec.Start; got != total {
+				t.Errorf("sum(Seg) = %d, End-Start = %d", got, total)
+			}
+		})
+	}
+}
+
+func TestPopWaitZeroLengthWait(t *testing.T) {
+	// A wait that returns immediately (request already done) must not
+	// produce negative segments regardless of the recorded timeline.
+	rec := runSpan(t, OpWrite, func(p *sim.Proc, sp *Span) {
+		t0 := p.Now()
+		sp.Push(p, StageQueue)
+		sp.PopWait(p, t0, t0-3, t0+5)
+	})
+	for st, v := range rec.Seg {
+		if v != 0 {
+			t.Errorf("Seg[%v] = %d, want 0", Stage(st), v)
+		}
+	}
+}
+
+func TestBeginNestedReturnsNil(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng)
+	eng.Spawn("u", func(p *sim.Proc) {
+		outer := r.Begin(p, OpUnlink)
+		if outer == nil {
+			t.Error("outer Begin returned nil")
+		}
+		inner := r.Begin(p, OpSync) // nested entry point folds into outer
+		if inner != nil {
+			t.Error("nested Begin returned a span, want nil")
+		}
+		r.End(p, inner) // no-op
+		p.Sleep(4)
+		r.End(p, outer)
+		if p.Obs != nil {
+			t.Error("p.Obs not detached after End")
+		}
+	})
+	eng.Run()
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Op != OpUnlink {
+		t.Fatalf("spans = %+v, want one unlink span", spans)
+	}
+}
+
+func TestEndUnbalancedPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng)
+	eng.Spawn("u", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("End with an open stage did not panic")
+			}
+		}()
+		sp := r.Begin(p, OpRead)
+		sp.Push(p, StageCPU) // never popped
+		r.End(p, sp)
+	})
+	eng.Run()
+}
+
+func TestRecorderPoolsSpans(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng)
+	var first, second *Span
+	eng.Spawn("u", func(p *sim.Proc) {
+		first = r.Begin(p, OpRead)
+		p.Sleep(1)
+		r.End(p, first)
+		second = r.Begin(p, OpWrite)
+		r.End(p, second)
+	})
+	eng.Run()
+	if first != second {
+		t.Error("second Begin did not reuse the pooled span")
+	}
+	spans := r.Spans()
+	if len(spans) != 2 || spans[0].Op != OpRead || spans[1].Op != OpWrite {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[1].Seg != ([NumStages]sim.Duration{}) {
+		t.Errorf("reused span carried stale segments: %v", spans[1].Seg)
+	}
+}
+
+func TestProfileAggregation(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng)
+	eng.Spawn("u", func(p *sim.Proc) {
+		for _, d := range []sim.Duration{2 * sim.Millisecond, 4 * sim.Millisecond} {
+			sp := r.Begin(p, OpCreate)
+			sp.Push(p, StageCPU)
+			p.Sleep(d)
+			sp.Pop(p)
+			r.End(p, sp)
+		}
+		sp := r.Begin(p, OpUnlink)
+		p.Sleep(1 * sim.Millisecond)
+		r.End(p, sp)
+	})
+	eng.Run()
+	prof := r.Profile()
+	if len(prof) != 2 {
+		t.Fatalf("profile has %d op digests, want 2", len(prof))
+	}
+	cr, un := prof[0], prof[1]
+	if cr.Op != OpCreate || un.Op != OpUnlink {
+		t.Fatalf("profile order = %v, %v; want create, unlink", cr.Op, un.Op)
+	}
+	if cr.Count != 2 || cr.Total != 6*sim.Millisecond || cr.Seg[StageCPU] != 6*sim.Millisecond {
+		t.Errorf("create digest = %+v", cr)
+	}
+	if cr.Lat.P50MS != 2 || cr.Lat.MaxMS != 4 || cr.Lat.MeanMS != 3 {
+		t.Errorf("create latency dist = %+v, want p50=2 max=4 mean=3", cr.Lat)
+	}
+	if un.Count != 1 || un.Seg[StageOther] != 1*sim.Millisecond {
+		t.Errorf("unlink digest = %+v", un)
+	}
+}
+
+func TestResetStartsNewWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng)
+	eng.Spawn("u", func(p *sim.Proc) {
+		r.End(p, r.Begin(p, OpRead))
+		r.Reset()
+		r.End(p, r.Begin(p, OpWrite))
+	})
+	eng.Run()
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Op != OpWrite {
+		t.Fatalf("spans after Reset = %+v, want one write span", spans)
+	}
+}
+
+func TestStageAndOpNamesComplete(t *testing.T) {
+	for st := Stage(0); st < NumStages; st++ {
+		if s := st.String(); s == "" || s == "stage?" {
+			t.Errorf("Stage(%d) has no name", st)
+		}
+	}
+	if Stage(NumStages).String() != "stage?" {
+		t.Error("out-of-range stage did not map to placeholder")
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if s := op.String(); s == "" || s == "op?" {
+			t.Errorf("Op(%d) has no name", op)
+		}
+	}
+	if Op(NumOps).String() != "op?" {
+		t.Error("out-of-range op did not map to placeholder")
+	}
+}
+
+// chromeRun records a small fixed set of spans for the trace-format tests.
+func chromeRun(t *testing.T) *Recorder {
+	t.Helper()
+	eng := sim.NewEngine()
+	r := New(eng)
+	for i := 0; i < 2; i++ {
+		eng.Spawn("u", func(p *sim.Proc) {
+			sp := r.Begin(p, OpCreate)
+			sp.Push(p, StageCPU)
+			p.Sleep(1500) // 1.5 µs: exercises the fractional-µs formatting
+			sp.Pop(p)
+			r.End(p, sp)
+		})
+	}
+	eng.Run()
+	return r
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	r := chromeRun(t)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Dur != 1.5 {
+				t.Errorf("event dur = %v µs, want 1.5", ev.Dur)
+			}
+			if ev.Args["cpu_us"] != 1.5 {
+				t.Errorf("cpu_us arg = %v, want 1.5", ev.Args["cpu_us"])
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 2 {
+		t.Errorf("got %d metadata + %d complete events, want 2 + 2", meta, complete)
+	}
+	if strings.Count(buf.String(), "thread_name") != meta {
+		t.Errorf("thread_name metadata count mismatch")
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := chromeRun(t).WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := chromeRun(t).WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical runs produced different Chrome traces")
+	}
+}

@@ -257,6 +257,16 @@ type Proc struct {
 	Name   string
 	ID     int
 	resume chan struct{}
+
+	// Obs anchors per-process observability state: the operation span the
+	// process is currently executing, owned by internal/obs. The engine
+	// never reads it — it exists on Proc so that every layer that already
+	// has the *Proc in hand (file system, cache, driver waits) can find the
+	// active span without a side table, and so that daemon processes (the
+	// syncer) naturally carry none. It is nil whenever tracing is disabled
+	// or no operation is in flight, and observers must never let it
+	// influence scheduling: spans record virtual time, they do not spend it.
+	Obs any
 }
 
 // Spawn starts a new simulated process executing fn. The process begins

@@ -66,6 +66,31 @@ func distOf(vals []float64) Dist {
 	}
 }
 
+// Digest accumulates latency samples (milliseconds) for percentile
+// reporting. It keeps the raw samples, so digests merge exactly — the
+// merged distribution equals the distribution of the concatenated sample
+// sets — unlike sketch-based digests. Sample counts here are bounded by
+// the operation counts of one experiment cell, so exactness is cheap.
+type Digest struct {
+	vals []float64
+}
+
+// Add records one sample.
+func (d *Digest) Add(ms float64) { d.vals = append(d.vals, ms) }
+
+// Merge folds o's samples into d. o is unchanged.
+func (d *Digest) Merge(o *Digest) { d.vals = append(d.vals, o.vals...) }
+
+// Count returns the number of recorded samples.
+func (d *Digest) Count() int { return len(d.vals) }
+
+// Dist computes the distribution of the samples recorded so far. The
+// digest is unchanged (distOf sorts its argument, so Dist works on a
+// copy) and may keep accumulating.
+func (d *Digest) Dist() Dist {
+	return distOf(append([]float64(nil), d.vals...))
+}
+
 // Analyze summarizes a request trace.
 func Analyze(stats []dev.Stat) Summary {
 	s := Summary{Requests: len(stats)}
