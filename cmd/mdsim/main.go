@@ -41,6 +41,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	faults := flag.Bool("faults", false, "run the fault-injection recovery sweep (per-scheme crash recovery on a faulty disk)")
 	opstats := flag.Bool("opstats", false, "run the per-scheme operation profile (virtual-time latency/stage breakdown per op type)")
+	dist := flag.Bool("dist", false, "run the sharded metadata service sweep (per-scheme clusters at 1/4/16 nodes with dynamic splitting)")
 	opTrace := flag.String("optrace", "", "run the 4-user copy under -optrace-scheme and write a Chrome trace-event JSON of the operation spans to this file")
 	opTraceScheme := flag.String("optrace-scheme", "softupdates", "scheme for -optrace (conventional|flag|chains|softupdates|noorder|nvram)")
 	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram)")
@@ -113,6 +114,24 @@ func main() {
 		}
 		st := runner.Stats()
 		fmt.Fprintf(os.Stderr, "[opstats: %d cells simulated, %d memo hits, %d workers]\n",
+			st.Executed, st.Hits, st.Workers)
+		return
+	}
+
+	if *dist {
+		// Like -faults and -opstats: an opt-in extension outside
+		// -exp/-list, so the golden transcript pinning `-exp all` is
+		// untouched. All numbers are virtual-time, so stdout is
+		// byte-identical for any -j.
+		runner := harness.NewRunner(*jobs)
+		cfg := harness.DefaultConfig(os.Stdout)
+		cfg.Scale = harness.Scale(*scale)
+		cfg.Runner = runner
+		for _, t := range harness.DistExhibit.Tables(cfg) {
+			t.Fprint(os.Stdout)
+		}
+		st := runner.Stats()
+		fmt.Fprintf(os.Stderr, "[dist: %d cells simulated, %d memo hits, %d workers]\n",
 			st.Executed, st.Hits, st.Workers)
 		return
 	}

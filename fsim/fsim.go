@@ -224,46 +224,65 @@ type System struct {
 	statsStart sim.Time
 }
 
-// New formats a fresh file system and mounts it under the selected scheme.
-func New(opt Options) (*System, error) {
-	opt.setDefaults()
+// schemeParts is one machine's ordering machinery, fresh per stack (an
+// ordering instance carries per-mount state and is never shared between
+// nodes).
+type schemeParts struct {
+	ord  ffs.Ordering
+	dcfg dev.Config
+	soft *core.SoftUpdates
+	nvs  *nvram.Scheme
+}
 
-	var ord ffs.Ordering
-	dcfg := dev.Config{Mode: dev.ModeIgnore}
-	var soft *core.SoftUpdates
-	var nvs *nvram.Scheme
+// schemeSetup instantiates opt.Scheme's ordering and driver config. It
+// mutates opt where a scheme constrains the options (SoftUpdates forces
+// CB off).
+func schemeSetup(opt *Options) (schemeParts, error) {
+	sp := schemeParts{dcfg: dev.Config{Mode: dev.ModeIgnore}}
 	switch opt.Scheme {
 	case NoOrder:
-		ord = ordering.NewNoOrder()
+		sp.ord = ordering.NewNoOrder()
 	case Conventional:
-		ord = ordering.NewConventional()
+		sp.ord = ordering.NewConventional()
 	case SchedulerFlag:
-		ord = ordering.NewFlag()
-		dcfg = dev.Config{Mode: dev.ModeFlag, Sem: opt.Sem, NR: opt.NR}
+		sp.ord = ordering.NewFlag()
+		sp.dcfg = dev.Config{Mode: dev.ModeFlag, Sem: opt.Sem, NR: opt.NR}
 		if opt.IgnoreOrdering {
-			dcfg = dev.Config{Mode: dev.ModeIgnore}
+			sp.dcfg = dev.Config{Mode: dev.ModeIgnore}
 		}
 	case SchedulerChains:
 		ch := ordering.NewChains()
 		ch.BarrierFrees = opt.BarrierFrees
-		ord = ch
-		dcfg = dev.Config{Mode: dev.ModeChains}
+		sp.ord = ch
+		sp.dcfg = dev.Config{Mode: dev.ModeChains}
 		if opt.IgnoreOrdering {
-			dcfg = dev.Config{Mode: dev.ModeIgnore}
+			sp.dcfg = dev.Config{Mode: dev.ModeIgnore}
 		}
 	case SoftUpdates:
 		// Soft updates substitutes rolled-back copies as write sources
 		// itself; the -CB machinery's concurrent per-buffer snapshots
 		// would break its covered-update tracking, so it is forced off.
 		opt.CB = false
-		soft = core.New()
-		ord = soft
+		sp.soft = core.New()
+		sp.ord = sp.soft
 	case NVRAM:
-		nvs = nvram.New(nvram.NewLog(opt.NVRAMBytes))
-		ord = nvs
+		sp.nvs = nvram.New(nvram.NewLog(opt.NVRAMBytes))
+		sp.ord = sp.nvs
 	default:
-		return nil, fmt.Errorf("fsim: unknown scheme %v", opt.Scheme)
+		return schemeParts{}, fmt.Errorf("fsim: unknown scheme %v", opt.Scheme)
 	}
+	return sp, nil
+}
+
+// New formats a fresh file system and mounts it under the selected scheme.
+func New(opt Options) (*System, error) {
+	opt.setDefaults()
+
+	parts, err := schemeSetup(&opt)
+	if err != nil {
+		return nil, err
+	}
+	ord, dcfg, soft, nvs := parts.ord, parts.dcfg, parts.soft, parts.nvs
 
 	eng := sim.NewEngine()
 	dsk := disk.New(*opt.DiskParams, opt.DiskBytes)
@@ -290,7 +309,6 @@ func New(opt Options) (*System, error) {
 	if opt.Observe {
 		sys.Obs = obs.New(eng)
 	}
-	var err error
 	eng.Spawn("mount", func(p *sim.Proc) {
 		sys.FS, err = ffs.Mount(eng, cpu, c, ord,
 			ffs.Config{AllocInit: opt.AllocInit, Costs: opt.Costs, Obs: sys.Obs}, p)

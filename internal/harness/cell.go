@@ -32,6 +32,10 @@ const (
 	// operation-span recorder attached and reports per-op latency/stage
 	// digests plus per-scheme write-discipline counters for both phases.
 	CellOpProfile
+	// CellDist runs the sharded metadata service: Dist.Nodes machines
+	// (each a full stack built from Opt) behind the inode-range router,
+	// under the deterministic client load, with dynamic splitting.
+	CellDist
 )
 
 // Cell is one self-contained deterministic simulation: a complete system
@@ -62,6 +66,9 @@ type Cell struct {
 
 	// CrashAt is the virtual instant the plug is pulled (CellFaultRecovery).
 	CrashAt sim.Duration
+
+	// Dist configures the cluster shape and client load (CellDist).
+	Dist DistSpec
 }
 
 // CellResult carries every measurement a cell kind can produce; unused
@@ -76,6 +83,7 @@ type CellResult struct {
 	Andrew     workload.AndrewTimes // CellAndrew
 	FaultRec   FaultRecovery        // CellFaultRecovery
 	OpProf     OpProfile            // CellOpProfile
+	Dist       DistResult           // CellDist
 	Wall       time.Duration        // real execution time of the simulation
 }
 
@@ -97,7 +105,7 @@ func (c Cell) Fingerprint() string {
 		o.CacheBytes, o.NVRAMBytes, o.SyncerFraction, o.Costs, dp,
 		o.Faults.String(), o.MaxRetries, o.RetryBackoff, o.SpareSectors,
 		o.Observe, c.Users, float64(c.Scale), c.Remove, c.Fig5, c.TotalFiles,
-		c.Commands, c.CrashAt)
+		c.Commands, c.CrashAt) + fmt.Sprintf("|dist{%+v}", c.Dist)
 }
 
 // run executes the cell's simulation from scratch. It is a pure function
@@ -117,6 +125,8 @@ func (c Cell) run() CellResult {
 		return CellResult{FaultRec: faultRecoveryRun(c.Opt, c.CrashAt)}
 	case CellOpProfile:
 		return CellResult{OpProf: opProfileRun(c.Opt, c.Users, c.Scale)}
+	case CellDist:
+		return CellResult{Dist: distRun(c.Opt, c.Dist)}
 	}
 	panic(fmt.Sprintf("harness: unknown cell kind %d", c.Kind))
 }

@@ -126,7 +126,8 @@ func opPhaseTable(scheme, phase string, users int, p OpPhaseProfile) Table {
 		Title: fmt.Sprintf("Operation profile: %s — %d-user %s", scheme, users, phase),
 		Note:  fmt.Sprintf("mean per-user elapsed %.2fs; stage columns are %% of the op type's total latency", p.Elapsed.Seconds()),
 		Columns: []string{"op", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms", "max ms",
-			"total s", "cpu", "cacheread", "lock", "barrier", "queue", "media", "syncer", "other"},
+			"total s", "cpu", "cacheread", "lock", "barrier", "queue", "media", "syncer",
+			"netqueue", "wire", "other"},
 	}
 	for _, d := range p.Ops {
 		row := []string{

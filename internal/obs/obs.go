@@ -65,6 +65,15 @@ const (
 	// delayed/async write of the buffer (issued by the syncer daemon or
 	// another process), copy-buffer backpressure, or eviction waits.
 	StageSyncer
+	// StageNetQueue: blocked on a distributed RPC for reasons other than
+	// bytes in flight — link contention at the sender, queueing at the
+	// remote node, and the remote node's service time (which the remote
+	// side accounts in its own spans).
+	StageNetQueue
+	// StageWire: request and reply bytes of a distributed RPC in flight on
+	// the simulated network (transmission + propagation), split out of
+	// StageNetQueue retroactively by PopNet.
+	StageWire
 	// StageOther: residual span time (see above).
 	StageOther
 
@@ -73,7 +82,8 @@ const (
 )
 
 var stageNames = [NumStages]string{
-	"cpu", "cacheread", "lock", "barrier", "queue", "media", "syncer", "other",
+	"cpu", "cacheread", "lock", "barrier", "queue", "media", "syncer",
+	"netqueue", "wire", "other",
 }
 
 func (s Stage) String() string {
@@ -214,6 +224,30 @@ func (sp *Span) PopWait(p *sim.Proc, t0, ready, dispatch sim.Time) {
 	sp.seg[StageQueue] -= barrier + media
 	sp.seg[StageBarrier] += barrier
 	sp.seg[StageMedia] += media
+}
+
+// PopNet closes a StageNetQueue region that covered one blocking RPC on
+// the simulated network, retroactively transferring the measured wire
+// time (request + reply transmission and propagation) into StageWire;
+// link contention, remote queueing, and remote service stay in
+// StageNetQueue. t0 is when the region was pushed. The move is a pure
+// transfer between stages, so the partition invariant is preserved;
+// clamping wire to the region's elapsed time keeps every segment
+// non-negative even if a caller overstates it.
+func (sp *Span) PopNet(p *sim.Proc, t0 sim.Time, wire sim.Duration) {
+	if sp == nil {
+		return
+	}
+	now := p.Now()
+	sp.Pop(p)
+	if avail := now - t0; wire > avail {
+		wire = avail
+	}
+	if wire < 0 {
+		wire = 0
+	}
+	sp.seg[StageNetQueue] -= wire
+	sp.seg[StageWire] += wire
 }
 
 // SpanRecord is one completed span.

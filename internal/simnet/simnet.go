@@ -1,0 +1,272 @@
+// Package simnet is a simulated message network between processes on one
+// sim.Engine — the fabric the sharded metadata service (internal/dmeta)
+// runs over. It models each directed endpoint pair as an independent
+// link with a serial transmission pipe (bandwidth) followed by a
+// propagation delay (latency):
+//
+//	xmitStart = max(now, link.busyUntil)   // earlier messages hold the pipe
+//	deliverAt = xmitStart + size/bandwidth + latency
+//	busyUntil = xmitStart + size/bandwidth
+//
+// Because busyUntil is monotone per link, per-link delivery is FIFO by
+// construction, and because deliveries are ordinary engine events, the
+// global message timeline is totally ordered by the engine's (at, seq)
+// rule — two messages delivered at the same virtual instant fire in send
+// order. All state is engine-local (no package globals, no wall clock,
+// no map-order iteration), so a run is a pure function of the send
+// sequence: the property the memoized distributed cells depend on.
+//
+// Instrumentation: Call brackets its blocking wait in StageNetQueue and,
+// on reply, retroactively moves the measured wire time (request + reply
+// transmission and propagation) into StageWire via Span.PopNet — the
+// span partition invariant sum(Seg) == End-Start holds exactly for
+// distributed operations too.
+package simnet
+
+import (
+	"fmt"
+
+	"metaupdate/internal/obs"
+	"metaupdate/internal/sim"
+)
+
+// Params is the link cost model, shared by every link in the network.
+type Params struct {
+	// Latency is the per-message propagation delay (default 200µs).
+	Latency sim.Duration
+	// BytesPerSec is the link bandwidth (default 125 MB/s ≈ 1 Gbit/s).
+	BytesPerSec int64
+}
+
+// DefaultParams returns the standard datacenter-ish cost model.
+func DefaultParams() Params {
+	return Params{Latency: 200 * sim.Microsecond, BytesPerSec: 125_000_000}
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("lat%d,bw%d", p.Latency, p.BytesPerSec)
+}
+
+// Message is one delivered datagram. The payload crosses by reference
+// (this is a simulation, not a serializer); Size drives the cost model.
+type Message struct {
+	From, To int
+	Size     int
+	Payload  any
+
+	// RPC bookkeeping: ReqID matches a reply to its Call, ReplyTo is the
+	// endpoint the reply must reach (preserved across Forward so replies
+	// skip intermediaries).
+	ReqID   uint64
+	ReplyTo int
+	IsReply bool
+
+	// Seq is the network-wide send sequence number (determinism audit).
+	Seq uint64
+	// SentAt is when the sender issued the message; At when it arrived.
+	SentAt, At sim.Time
+	// Queued is time spent waiting for the link pipe; Wire is
+	// transmission + propagation. Queued + Wire == At - SentAt.
+	Queued, Wire sim.Duration
+}
+
+type linkKey struct{ from, to int }
+
+// Network connects a set of integer-addressed endpoints over directed
+// links sharing one cost model.
+type Network struct {
+	eng   *sim.Engine
+	p     Params
+	eps   map[int]*Endpoint
+	busy  map[linkKey]sim.Time // per-link pipe occupancy
+	seq   uint64
+	reqID uint64
+
+	// Sent / Delivered / Bytes are cumulative traffic counters.
+	Sent, Delivered, Bytes int64
+}
+
+// New returns an empty network on eng. Zero-valued Params fields take
+// defaults.
+func New(eng *sim.Engine, p Params) *Network {
+	d := DefaultParams()
+	if p.Latency <= 0 {
+		p.Latency = d.Latency
+	}
+	if p.BytesPerSec <= 0 {
+		p.BytesPerSec = d.BytesPerSec
+	}
+	return &Network{
+		eng:  eng,
+		p:    p,
+		eps:  make(map[int]*Endpoint),
+		busy: make(map[linkKey]sim.Time),
+	}
+}
+
+// Params returns the network's cost model.
+func (n *Network) Params() Params { return n.p }
+
+// Endpoint returns (creating on first use) the endpoint with the given
+// address. Addresses are small ints chosen by the caller.
+func (n *Network) Endpoint(id int) *Endpoint {
+	if ep, ok := n.eps[id]; ok {
+		return ep
+	}
+	ep := &Endpoint{n: n, id: id, calls: make(map[uint64]*call)}
+	n.eps[id] = ep
+	return ep
+}
+
+// send computes the message's timeline under the link cost model and
+// schedules its delivery. Returns the message as timed.
+func (n *Network) send(m Message) Message {
+	now := n.eng.Now()
+	k := linkKey{m.From, m.To}
+	start := n.busy[k]
+	if start < now {
+		start = now
+	}
+	xmit := sim.Duration(int64(m.Size) * int64(sim.Second) / n.p.BytesPerSec)
+	n.busy[k] = start + xmit
+
+	n.seq++
+	m.Seq = n.seq
+	m.SentAt = now
+	m.At = start + xmit + n.p.Latency
+	m.Queued = start - now
+	m.Wire = xmit + n.p.Latency
+
+	n.Sent++
+	n.Bytes += int64(m.Size)
+	dst := n.Endpoint(m.To)
+	n.eng.At(m.At, func() {
+		n.Delivered++
+		dst.deliver(m)
+	})
+	return m
+}
+
+type call struct {
+	done  *sim.Completion
+	reply Message
+}
+
+// Endpoint is one addressable participant: an inbox of requests plus a
+// table of in-flight outbound calls. One process may serve the inbox
+// (Recv) while others issue Calls through the same endpoint — replies
+// are demultiplexed by ReqID and never enter the inbox.
+type Endpoint struct {
+	n      *Network
+	id     int
+	inbox  []Message
+	head   int
+	wake   *sim.Completion // armed when a receiver is parked
+	calls  map[uint64]*call
+	closed bool
+}
+
+// ID returns the endpoint's network address.
+func (ep *Endpoint) ID() int { return ep.id }
+
+// Queued returns the inbox depth — the load signal the dmeta split
+// policy watches.
+func (ep *Endpoint) Queued() int { return len(ep.inbox) - ep.head }
+
+func (ep *Endpoint) deliver(m Message) {
+	if m.IsReply {
+		c, ok := ep.calls[m.ReqID]
+		if !ok {
+			panic(fmt.Sprintf("simnet: endpoint %d got reply for unknown call %d", ep.id, m.ReqID))
+		}
+		delete(ep.calls, m.ReqID)
+		c.reply = m
+		c.done.Fire(ep.n.eng)
+		return
+	}
+	ep.inbox = append(ep.inbox, m)
+	if ep.wake != nil {
+		w := ep.wake
+		ep.wake = nil
+		w.Fire(ep.n.eng)
+	}
+}
+
+// Send transmits a one-way message (no reply expected).
+func (ep *Endpoint) Send(to, size int, payload any) {
+	ep.n.send(Message{From: ep.id, To: to, Size: size, Payload: payload, ReplyTo: ep.id})
+}
+
+// Call sends a request and blocks p until the matching reply arrives.
+// The wait is recorded as StageNetQueue on p's span, with the measured
+// wire time of both directions split out into StageWire.
+func (ep *Endpoint) Call(p *sim.Proc, to, size int, payload any) Message {
+	t0 := p.Now()
+	sp := obs.SpanOf(p)
+	sp.Push(p, obs.StageNetQueue)
+	ep.n.reqID++
+	id := ep.n.reqID
+	c := &call{done: sim.NewCompletion()}
+	ep.calls[id] = c
+	req := ep.n.send(Message{
+		From: ep.id, To: to, Size: size, Payload: payload,
+		ReqID: id, ReplyTo: ep.id,
+	})
+	c.done.Wait(p)
+	sp.PopNet(p, t0, req.Wire+c.reply.Wire)
+	return c.reply
+}
+
+// Reply answers a request previously received via Recv (possibly after
+// forwarding); the reply travels to the original caller's endpoint.
+func (ep *Endpoint) Reply(req Message, size int, payload any) {
+	ep.n.send(Message{
+		From: ep.id, To: req.ReplyTo, Size: size, Payload: payload,
+		ReqID: req.ReqID, IsReply: true, ReplyTo: ep.id,
+	})
+}
+
+// Forward re-transmits a received request to another endpoint, keeping
+// the original caller's ReqID/ReplyTo so the eventual Reply goes
+// straight back to them.
+func (ep *Endpoint) Forward(m Message, to int) {
+	ep.n.send(Message{
+		From: ep.id, To: to, Size: m.Size, Payload: m.Payload,
+		ReqID: m.ReqID, ReplyTo: m.ReplyTo,
+	})
+}
+
+// Recv blocks p until a request is available (replies never surface
+// here) and returns it; ok is false once the endpoint is closed and
+// drained, the server's signal to exit.
+func (ep *Endpoint) Recv(p *sim.Proc) (Message, bool) {
+	for ep.head >= len(ep.inbox) {
+		if ep.closed {
+			return Message{}, false
+		}
+		if ep.wake == nil {
+			ep.wake = sim.NewCompletion()
+		}
+		ep.wake.Wait(p)
+	}
+	m := ep.inbox[ep.head]
+	ep.inbox[ep.head] = Message{} // drop payload reference
+	ep.head++
+	if ep.head == len(ep.inbox) {
+		ep.inbox = ep.inbox[:0]
+		ep.head = 0
+	}
+	return m, true
+}
+
+// Close marks the endpoint closed and wakes any parked receiver so its
+// server loop can exit. In-flight deliveries still land (and are
+// discarded unread if nobody Recvs them).
+func (ep *Endpoint) Close() {
+	ep.closed = true
+	if ep.wake != nil {
+		w := ep.wake
+		ep.wake = nil
+		w.Fire(ep.n.eng)
+	}
+}
