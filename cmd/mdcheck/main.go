@@ -9,6 +9,8 @@
 //	mdcheck -schemes softupdates,noorder -files 200
 //	mdcheck -workers 8 -budget 100000 -json
 //	mdcheck -schemes softupdates -seed-bug -shrink   # catch a planted bug
+//	mdcheck -full -pass-workers 4       # no incremental reuse, parallel passes
+//	mdcheck -dist -schemes conventional # sharded dmeta cluster, per-node sweeps
 //
 // Exit status is 1 when any scheme's verdict is unexpected: a violation
 // under an ordering scheme, or a fully clean sweep under noorder.
@@ -54,6 +56,13 @@ func main() {
 	shrink := flag.Bool("shrink", false, "shrink the first violation to a minimal repro")
 	seedBug := flag.Bool("seed-bug", false,
 		"plant an ordering bug (soft updates drops its directory-entry dependency)")
+	full := flag.Bool("full", false,
+		"disable incremental checking: full fsck per candidate image")
+	passWorkers := flag.Int("pass-workers", 0,
+		"fsck pass-level parallelism per image (0: serial passes)")
+	dist := flag.Bool("dist", false,
+		"check a power-failed sharded dmeta cluster instead of one file system")
+	distNodes := flag.Int("dist-nodes", 4, "cluster shard count for -dist")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	flag.Parse()
 
@@ -67,15 +76,23 @@ func main() {
 		list = append(list, s)
 	}
 
+	mc := crashmc.Config{
+		Workers:     *workers,
+		Budget:      *budget,
+		PerInstant:  *perInstant,
+		Shrink:      *shrink,
+		FullCheck:   *full,
+		PassWorkers: *passWorkers,
+	}
+
+	if *dist {
+		os.Exit(runDist(list, mc, *distNodes, *jsonOut))
+	}
+
 	opt := harness.CrashCheckOptions{
 		Files:   *files,
 		SeedBug: *seedBug,
-		MC: crashmc.Config{
-			Workers:    *workers,
-			Budget:     *budget,
-			PerInstant: *perInstant,
-			Shrink:     *shrink,
-		},
+		MC:      mc,
 	}
 
 	var out *os.File
@@ -137,4 +154,54 @@ func main() {
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// runDist checks a power-failed dmeta cluster per scheme: every shard's
+// recorded timeline is explored with fsck plus the naming-discipline
+// oracle, and the crash-cut images get a cross-node reference scan. The
+// verdict rule matches the single-machine matrix — ordering schemes must
+// come up clean, noorder must not.
+func runDist(list []fsim.Scheme, mc crashmc.Config, nodes int, jsonOut bool) int {
+	type row struct {
+		Scheme string                        `json:"scheme"`
+		Error  string                        `json:"error,omitempty"`
+		Result *harness.DistCrashCheckResult `json:"result,omitempty"`
+	}
+	var doc []row
+	bad := false
+	for _, s := range list {
+		res, err := harness.DistCrashCheck(harness.DistCrashCheckOptions{
+			Scheme: s,
+			Nodes:  nodes,
+			MC:     mc,
+		})
+		jr := row{Scheme: s.String(), Result: res}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %s: %v\n", s, err)
+			jr.Error = err.Error()
+			bad = true
+		} else {
+			expectClean := s != fsim.NoOrder
+			if res.Clean() != expectClean {
+				bad = true
+			}
+			if !jsonOut {
+				fmt.Printf("== %s cluster (%d nodes) ==\n", s, nodes)
+				res.Fprint(os.Stdout)
+			}
+		}
+		doc = append(doc, jr)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "mdcheck:", err)
+			return 2
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
 }

@@ -40,6 +40,7 @@ package crashmc
 import (
 	"fmt"
 	"hash/maphash"
+	"math"
 	"sort"
 
 	"metaupdate/internal/dev"
@@ -215,6 +216,19 @@ type Config struct {
 	// called concurrently from the checker pool and must be safe for
 	// concurrent use with distinct images.
 	ExtraCheck func(fsck.Image) []string
+	// FullCheck disables incremental checking: every candidate is verified
+	// by a full fsck walk instead of replaying deltas against a cached
+	// per-snapshot Baseline. Reports are identical either way — the
+	// differential oracle (incremental_test.go) enforces it — so full mode
+	// exists for benchmarking the speedup and as a belt-and-braces CI path.
+	FullCheck bool
+	// PassWorkers sets fsck's pass-level parallelism per image: baseline
+	// builds (incremental mode) and full walks (FullCheck mode) derive
+	// with that many cooperating goroutines, pFSCK-style. Useful when
+	// instants are few but images are huge — trading image-level for
+	// pass-level parallelism; total goroutines scale with
+	// Workers×PassWorkers, so lower Workers when raising this. Default 1.
+	PassWorkers int
 	// Shrink reduces the lowest-sequence violating state to a minimal
 	// repro after the sweep.
 	Shrink bool
@@ -259,8 +273,27 @@ type Stats struct {
 	Checked   int64 `json:"checked"`   // distinct images run through fsck
 	Violating int64 `json:"violating"` // distinct images with rule violations
 
+	// Incremental reports the checking mode; BaselineBuilds counts the
+	// committed-image baselines derived in incremental mode (one per
+	// snapshot version, shared across workers).
+	Incremental    bool  `json:"incremental"`
+	BaselineBuilds int64 `json:"baseline_builds,omitempty"`
+
 	ElapsedSec    float64 `json:"elapsed_sec"`     // wall-clock exploration time
 	CheckedPerSec float64 `json:"checked_per_sec"` // fsck throughput
+}
+
+// FinalizeThroughput derives CheckedPerSec from Checked and ElapsedSec.
+// Degenerate elapsed times (a tiny sweep whose wall clock rounds to zero)
+// report 0 rather than +Inf or NaN — values encoding/json refuses to
+// marshal, which used to turn `mdcheck -json` into an encode error.
+func (s *Stats) FinalizeThroughput() {
+	s.CheckedPerSec = 0
+	if s.ElapsedSec > 0 {
+		if r := float64(s.Checked) / s.ElapsedSec; !math.IsInf(r, 0) && !math.IsNaN(r) {
+			s.CheckedPerSec = r
+		}
+	}
 }
 
 // WriteInfo describes one offending write in a violation or repro.

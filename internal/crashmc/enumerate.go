@@ -16,8 +16,12 @@ import (
 // job is one crash state handed to the checker pool: a shared committed
 // snapshot plus the pending-write deltas hypothesized durable.
 type job struct {
-	seq       int64
-	img       []byte // committed image for the instant; read-only
+	seq int64
+	img []byte // committed image for the instant; read-only
+	// imgVer identifies img: it bumps whenever the explorer snapshots a new
+	// committed image, so workers can key their cached fsck Baselines on it
+	// (jobs sharing a version share the identical base bytes).
+	imgVer    uint64
 	subset    []*node
 	partial   *node
 	psec      int
@@ -31,7 +35,9 @@ type explorer struct {
 	cfg Config
 
 	jobs      chan job
+	pool      *checkerPool
 	committed []byte
+	imgVer    uint64
 	shared    bool // committed is referenced by emitted jobs
 	doneSet   map[uint64]struct{}
 	doneOrder []*node // completed writes, completion order
@@ -51,9 +57,15 @@ type explorer struct {
 	// images — across subsets AND across crash instants — and are skipped
 	// before paying for a full-image copy and hash; under the async
 	// schemes most candidates collapse this way.
-	doneSec    map[int64]uint64 // sector -> content fingerprint (seeded from base)
+	// doneH/doneOK are sector-indexed (the image size is fixed): the
+	// committed content fingerprint of every write-reachable sector.
+	// seenSec is the per-candidate claimed-generation stamp. Dense slices,
+	// not maps — signature runs once per emitted candidate and the map
+	// hashing showed up hard in sweep profiles.
+	doneH      []uint64
+	doneOK     []bool
 	doneXor    uint64
-	seenSec    map[int64]int // per-candidate scratch: sector -> generation
+	seenSec    []int
 	gen        int
 	sigSeen    map[uint64]struct{}
 	preDeduped int64
@@ -82,11 +94,14 @@ func (r *Recorder) Explore(cfg Config) *Result {
 		cfg:       cfg,
 		jobs:      make(chan job, 4*cfg.Workers),
 		committed: append([]byte(nil), r.base...),
+		imgVer:    1,
 		doneSet:   make(map[uint64]struct{}),
-		doneSec:   make(map[int64]uint64),
-		seenSec:   make(map[int64]int),
 		sigSeen:   make(map[uint64]struct{}),
 	}
+	nsec := int64(len(r.base)) / disk.SectorSize
+	x.doneH = make([]uint64, nsec)
+	x.doneOK = make([]bool, nsec)
+	x.seenSec = make([]int, nsec)
 	// Seed the signature with the base image's fingerprint for every sector
 	// a recorded write can touch. Without this, a write carrying bytes
 	// identical to what the base already holds would change the signature
@@ -99,15 +114,17 @@ func (r *Recorder) Explore(cfg Config) *Result {
 		}
 		for i := 0; i < n.count; i++ {
 			s := n.lbn + int64(i)
-			if _, ok := x.doneSec[s]; ok {
+			if x.doneOK[s] {
 				continue
 			}
 			h := maphash.Bytes(r.hseed, r.base[s*disk.SectorSize:(s+1)*disk.SectorSize])
-			x.doneSec[s] = h
+			x.doneH[s] = h
+			x.doneOK[s] = true
 			x.doneXor ^= mix(s, h)
 		}
 	}
 	pool := newCheckerPool(cfg)
+	x.pool = pool
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -193,22 +210,22 @@ func (r *Recorder) Explore(cfg Config) *Result {
 
 	res := &Result{
 		Stats: Stats{
-			Requests:  len(r.nodes),
-			Writes:    r.writes,
-			Instants:  x.instant + 1,
-			Torn:      r.torn,
-			Failed:    r.failed,
-			Explored:  x.explored,
-			Deduped:   x.preDeduped,
-			Checked:   pool.checked.Load(),
-			Violating: pool.violating.Load(),
+			Requests:       len(r.nodes),
+			Writes:         r.writes,
+			Instants:       x.instant + 1,
+			Torn:           r.torn,
+			Failed:         r.failed,
+			Explored:       x.explored,
+			Deduped:        x.preDeduped,
+			Checked:        pool.checked.Load(),
+			Violating:      pool.violating.Load(),
+			BaselineBuilds: pool.builds.Load(),
+			Incremental:    !cfg.FullCheck,
 		},
 		Violations: pool.takeViolations(),
 	}
 	res.Stats.ElapsedSec = time.Since(start).Seconds()
-	if res.Stats.ElapsedSec > 0 {
-		res.Stats.CheckedPerSec = float64(res.Stats.Checked) / res.Stats.ElapsedSec
-	}
+	res.Stats.FinalizeThroughput()
 	if cfg.Shrink && len(res.Violations) > 0 {
 		res.Repro = r.shrink(res.Violations[0], cfg, x.doneOrder)
 	}
@@ -233,8 +250,8 @@ func (x *explorer) signature(subset []*node, partial *node, psec int) uint64 {
 				continue // a newer writer already claimed this sector
 			}
 			x.seenSec[s] = x.gen
-			if old, ok := x.doneSec[s]; ok {
-				sig ^= mix(s, old)
+			if x.doneOK[s] {
+				sig ^= mix(s, x.doneH[s])
 			}
 			sig ^= mix(s, n.sech[i])
 		}
@@ -249,21 +266,26 @@ func (x *explorer) signature(subset []*node, partial *node, psec int) uint64 {
 }
 
 // unshare gives the explorer a private committed image before mutating it
-// (emitted jobs hold references to the previous snapshot).
+// (emitted jobs hold references to the previous snapshot). The version
+// bump invalidates workers' cached baselines; a buffer mutated while
+// unshared keeps its version because no job (and so no baseline) has seen
+// it yet.
 func (x *explorer) unshare() {
 	if x.shared {
 		x.committed = append([]byte(nil), x.committed...)
+		x.imgVer++
 		x.shared = false
 	}
 }
 
 // swapSector replaces sector s's contribution to the committed signature.
 func (x *explorer) swapSector(s int64, h uint64) {
-	if old, ok := x.doneSec[s]; ok {
-		x.doneXor ^= mix(s, old)
+	if x.doneOK[s] {
+		x.doneXor ^= mix(s, x.doneH[s])
 	}
 	x.doneXor ^= mix(s, h)
-	x.doneSec[s] = h
+	x.doneH[s] = h
+	x.doneOK[s] = true
 }
 
 func (x *explorer) removePending(id uint64) {
@@ -304,7 +326,8 @@ func (x *explorer) emitInstant() {
 		x.jobs <- job{
 			seq:       x.explored,
 			img:       x.committed,
-			subset:    append([]*node(nil), subset...),
+			imgVer:    x.imgVer,
+			subset:    x.pool.getSubset(subset),
 			partial:   partial,
 			psec:      psec,
 			instant:   x.instant,
@@ -443,32 +466,160 @@ func (x *explorer) emitInstant() {
 // the old full-image hash made), so the pool just checks what it is
 // handed: each worker assembles the job as a copy-on-write overlay and
 // runs fsck through it, never materializing the image.
+//
+// By default checking is incremental: the first worker to see a committed-
+// image version builds a shared fsck.Baseline for it (once per version),
+// and every worker replays candidate overlays against it through a
+// per-worker DeltaChecker — re-deriving only the state the delta's dirty
+// sectors reach. The differential oracle (incremental_test.go) pins the
+// reports bit-identical to full walks; cfg.FullCheck restores them.
 type checkerPool struct {
-	cfg Config
+	cfg         Config
+	incremental bool
+	passWorkers int
 
 	checked   atomic.Int64
 	violating atomic.Int64
+	builds    atomic.Int64
+
+	// Baselines shared across workers, keyed by committed-image version.
+	// Entries far behind the newest version are pruned (a straggler worker
+	// simply rebuilds); sync.Once makes each version's build happen once.
+	blmu      sync.Mutex
+	baselines map[uint64]*baselineEntry
+
+	// subsets free-lists the job subset slices (dev's request-pool idiom):
+	// the single-threaded explorer copies each emitted subset into a slice
+	// drawn here, and workers return it after recording, so steady-state
+	// emission stops allocating.
+	subsets sync.Pool
 
 	vmu        sync.Mutex
 	violations []Violation
 }
 
+type baselineEntry struct {
+	once sync.Once
+	bl   *fsck.Baseline
+}
+
 func newCheckerPool(cfg Config) *checkerPool {
-	return &checkerPool{cfg: cfg}
+	pw := cfg.PassWorkers
+	if pw < 1 {
+		pw = 1
+	}
+	return &checkerPool{
+		cfg:         cfg,
+		incremental: !cfg.FullCheck,
+		passWorkers: pw,
+		baselines:   make(map[uint64]*baselineEntry),
+	}
+}
+
+// getSubset copies subset into a pooled slice (nil for the empty subset,
+// matching the historical job shape).
+func (cp *checkerPool) getSubset(subset []*node) []*node {
+	if len(subset) == 0 {
+		return nil
+	}
+	var s []*node
+	if v := cp.subsets.Get(); v != nil {
+		s = (*v.(*[]*node))[:0]
+	}
+	return append(s, subset...)
+}
+
+func (cp *checkerPool) putSubset(s []*node) {
+	if s == nil {
+		return
+	}
+	for i := range s {
+		s[i] = nil // drop node references while pooled
+	}
+	s = s[:0]
+	cp.subsets.Put(&s)
+}
+
+// baseline returns the shared Baseline for one committed-image version,
+// building it (possibly pass-parallel) exactly once.
+func (cp *checkerPool) baseline(ver uint64, img []byte) *fsck.Baseline {
+	cp.blmu.Lock()
+	e := cp.baselines[ver]
+	if e == nil {
+		e = &baselineEntry{}
+		cp.baselines[ver] = e
+		// In-flight jobs trail the newest emitted version by at most the
+		// channel depth, so anything 64 versions back is settled.
+		for v := range cp.baselines {
+			if v+64 < ver {
+				delete(cp.baselines, v)
+			}
+		}
+	}
+	cp.blmu.Unlock()
+	e.once.Do(func() {
+		cp.builds.Add(1)
+		e.bl = fsck.NewBaseline(fsck.Bytes(img), cp.passWorkers)
+	})
+	return e.bl
 }
 
 func (cp *checkerPool) run(jobs <-chan job) {
-	ov := &overlay{delta: make(map[int64][]byte)}
+	ov := &overlay{}
+	var dc *fsck.DeltaChecker
+	var dcVer uint64
 	for j := range jobs {
 		ov.load(&j)
-		findings := checkImage(ov, cp.cfg.CheckContent, cp.cfg.ExtraCheck)
-		cp.checked.Add(1)
-		if len(findings) == 0 {
-			continue
+		if cp.incremental {
+			if dc == nil || dcVer != j.imgVer {
+				bl := cp.baseline(j.imgVer, j.img)
+				if dc == nil {
+					dc = fsck.NewDeltaChecker(bl)
+					dc.SkipDetails(true)
+				} else {
+					dc.Rebind(bl)
+				}
+				dcVer = j.imgVer
+			}
+			// Triage without formatting finding details — almost every
+			// candidate's report is discarded. Only candidates that would
+			// enter the retained set get a full formatted check, so the
+			// recorded strings are identical to FullCheck mode's.
+			if deltaViolates(dc, ov, cp.cfg.CheckContent, cp.cfg.ExtraCheck) {
+				cp.violating.Add(1)
+				if cp.wouldRetain(j.seq) {
+					cp.record(j, checkImage(ov, cp.passWorkers, cp.cfg.CheckContent, cp.cfg.ExtraCheck))
+				}
+			}
+		} else {
+			findings := checkImage(ov, cp.passWorkers, cp.cfg.CheckContent, cp.cfg.ExtraCheck)
+			if len(findings) != 0 {
+				cp.violating.Add(1)
+				cp.record(j, findings)
+			}
 		}
-		cp.violating.Add(1)
-		cp.record(j, findings)
+		cp.checked.Add(1)
+		cp.putSubset(j.subset)
 	}
+}
+
+// wouldRetain reports whether a violating candidate with this sequence
+// number could enter the retained set. The retention bar (the highest seq
+// currently kept, once the set is full) only ever tightens, so a false
+// answer never becomes true later — skipping the formatted re-check on
+// false is sound under any worker schedule.
+func (cp *checkerPool) wouldRetain(seq int64) bool {
+	cp.vmu.Lock()
+	defer cp.vmu.Unlock()
+	if len(cp.violations) < cp.cfg.MaxViolations {
+		return true
+	}
+	for _, o := range cp.violations {
+		if seq < o.Seq {
+			return true
+		}
+	}
+	return false
 }
 
 // record retains the violation, keeping the MaxViolations lowest sequence
@@ -512,18 +663,47 @@ func (cp *checkerPool) takeViolations() []Violation {
 }
 
 // checkImage runs the fsck oracle over one image — materialized or
-// overlay — and returns the rule violations as strings. A panic inside
-// fsck (a corrupted superblock leading it somewhere unmapped) is itself
-// reported as a violation rather than killing the sweep.
-func checkImage(img fsck.Image, content bool, extra func(fsck.Image) []string) (findings []string) {
+// overlay — and returns the rule violations as strings. passWorkers > 1
+// checks the image with pass-level parallelism. A panic inside fsck (a
+// corrupted superblock leading it somewhere unmapped) is itself reported
+// as a violation rather than killing the sweep.
+func checkImage(img fsck.Image, passWorkers int, content bool, extra func(fsck.Image) []string) (findings []string) {
 	defer func() {
 		if p := recover(); p != nil {
 			findings = append(findings, fmt.Sprintf("fsck panicked on image: %v", p))
 		}
 	}()
-	for _, f := range fsck.CheckImage(img).Violations() {
+	for _, f := range fsck.CheckImagePipelined(img, passWorkers).Violations() {
 		findings = append(findings, f.String())
 	}
+	findings = auxFindings(findings, img, content, extra)
+	return findings
+}
+
+// deltaViolates is checkImage's incremental counterpart: the structural
+// check splices dc's cached baseline records, while the content scan and
+// any extra oracle still walk the candidate in full. It only answers
+// whether the candidate violates — dc runs with SkipDetails, and callers
+// that keep the candidate re-check it with checkImage for the strings. A
+// panic inside fsck counts as a violation; the re-check reproduces it.
+func deltaViolates(dc *fsck.DeltaChecker, ov *overlay, content bool, extra func(fsck.Image) []string) (vio bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			vio = true
+		}
+	}()
+	for _, f := range dc.Check(ov).Findings {
+		if f.Kind.Violation() {
+			return true
+		}
+	}
+	if content && len(fsck.ContentViolationsImage(ov)) != 0 {
+		return true
+	}
+	return extra != nil && len(extra(ov)) != 0
+}
+
+func auxFindings(findings []string, img fsck.Image, content bool, extra func(fsck.Image) []string) []string {
 	if content {
 		for _, f := range fsck.ContentViolationsImage(img) {
 			findings = append(findings, f.String())

@@ -2,20 +2,30 @@ package crashmc
 
 import (
 	"metaupdate/internal/disk"
+	"metaupdate/internal/fsck"
 )
 
 // overlay is a copy-on-write crash image: the instant's shared committed
-// snapshot plus a per-sector delta map holding the contents the
+// snapshot plus a per-sector delta holding the contents the
 // hypothesized-durable writes would have left on the media. It implements
-// fsck.Image, so a checker worker pays per candidate for the candidate's
-// delta — not for a media-sized copy, which dominated the pool's cost when
-// images were materialized per job.
+// fsck.DeltaImage, so a checker worker pays per candidate for the
+// candidate's delta — not for a media-sized copy, which dominated the
+// pool's cost when images were materialized per job — and the incremental
+// checker can re-verify only the state the delta's dirty sectors reach.
+//
+// The delta is sector-indexed dense state, not a map: Range tests every
+// sector it crosses, and map hashing there dominated sweep profiles. mark
+// is a generation stamp (== cur means view[s] holds this candidate's
+// content), so load never clears the arrays.
 //
 // Delta entries alias the recorder's write-source snapshots; nothing here
 // is ever written, satisfying fsck.Image's read-only contract.
 type overlay struct {
 	base  []byte
-	delta map[int64][]byte // sector -> one-sector view of the newest writer
+	mark  []uint64 // sector -> generation; == cur means dirty
+	view  [][]byte // sector -> one-sector view of the newest writer
+	cur   uint64
+	dirty []int64 // dirty sectors of the current candidate
 
 	// scratch rotates the buffers backing dirty Range results.
 	// fsck.Image's contract promises the last four views stay valid.
@@ -28,21 +38,48 @@ type overlay struct {
 // overlapping writes resolve exactly as materializing them would.
 func (o *overlay) load(j *job) {
 	o.base = j.img
-	clear(o.delta)
+	if nsec := int(int64(len(j.img)) / disk.SectorSize); len(o.mark) != nsec {
+		o.mark = make([]uint64, nsec)
+		o.view = make([][]byte, nsec)
+	}
+	o.cur++
+	o.dirty = o.dirty[:0]
 	for _, n := range j.subset {
 		for i := 0; i < n.count; i++ {
-			o.delta[n.lbn+int64(i)] = n.data[i*disk.SectorSize : (i+1)*disk.SectorSize]
+			o.set(n.lbn+int64(i), n.data[i*disk.SectorSize:(i+1)*disk.SectorSize])
 		}
 	}
 	if p := j.partial; p != nil {
 		for i := 0; i < j.psec; i++ {
-			o.delta[p.lbn+int64(i)] = p.data[i*disk.SectorSize : (i+1)*disk.SectorSize]
+			o.set(p.lbn+int64(i), p.data[i*disk.SectorSize:(i+1)*disk.SectorSize])
 		}
 	}
 }
 
+func (o *overlay) set(s int64, view []byte) {
+	if o.mark[s] != o.cur {
+		o.mark[s] = o.cur
+		o.dirty = append(o.dirty, s)
+	}
+	o.view[s] = view
+}
+
 // Len implements fsck.Image.
 func (o *overlay) Len() int64 { return int64(len(o.base)) }
+
+// Base implements fsck.DeltaImage.
+func (o *overlay) Base() fsck.Image { return fsck.Bytes(o.base) }
+
+// DirtySectors implements fsck.DeltaImage. The slice is valid until the
+// next load.
+func (o *overlay) DirtySectors() []int64 { return o.dirty }
+
+// Fork implements fsck.Forkable: the fork shares the base and the delta
+// (both read-only for the duration of a check) with private scratch, so
+// pipelined fsck passes can Range concurrently.
+func (o *overlay) Fork() fsck.Image {
+	return &overlay{base: o.base, mark: o.mark, view: o.view, cur: o.cur, dirty: o.dirty}
+}
 
 // Range implements fsck.Image. Ranges free of dirty sectors alias the base
 // snapshot; ranges touching the delta are assembled in a rotating scratch
@@ -53,9 +90,14 @@ func (o *overlay) Range(off, n int64) []byte {
 	}
 	lo := off / disk.SectorSize
 	hi := (off + n - 1) / disk.SectorSize
+	if lo == hi && o.mark[lo] == o.cur {
+		// Entirely inside one dirty sector: alias the writer's view.
+		rel := off - lo*disk.SectorSize
+		return o.view[lo][rel : rel+n]
+	}
 	dirty := false
 	for s := lo; s <= hi; s++ {
-		if _, ok := o.delta[s]; ok {
+		if o.mark[s] == o.cur {
 			dirty = true
 			break
 		}
@@ -66,8 +108,7 @@ func (o *overlay) Range(off, n int64) []byte {
 	buf := o.grab(int(n))
 	copy(buf, o.base[off:off+n])
 	for s := lo; s <= hi; s++ {
-		d, ok := o.delta[s]
-		if !ok {
+		if o.mark[s] != o.cur {
 			continue
 		}
 		// Intersect the sector with [off, off+n); copy bounds the tail.
@@ -75,7 +116,7 @@ func (o *overlay) Range(off, n int64) []byte {
 		if dst < 0 {
 			src, dst = -dst, 0
 		}
-		copy(buf[dst:], d[src:])
+		copy(buf[dst:], o.view[s][src:])
 	}
 	return buf
 }

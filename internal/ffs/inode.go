@@ -89,6 +89,11 @@ func DecodeInode(b []byte) Inode {
 	return ip
 }
 
+// DecodeInodeInto decodes an inode from raw bytes in place, sparing the
+// return-value copy on decode-heavy paths (fsck's incremental checker
+// re-decodes every inode a delta touches, per check).
+func DecodeInodeInto(ip *Inode, b []byte) { ip.decode(b) }
+
 // EncodeInode encodes ip into b (used by tests and fsck repair).
 func EncodeInode(ip *Inode, b []byte) { ip.encode(b) }
 

@@ -41,7 +41,7 @@ type crashRig struct {
 
 // buildCrashRig assembles a complete system running `workload` as a user
 // process with the syncer daemon active.
-func buildCrashRig(t *testing.T, scheme string, allocInit bool, workload func(p *sim.Proc, fs *ffs.FS)) *crashRig {
+func buildCrashRig(t testing.TB, scheme string, allocInit bool, workload func(p *sim.Proc, fs *ffs.FS)) *crashRig {
 	t.Helper()
 	ord, dcfg := buildScheme(scheme)
 	eng := sim.NewEngine()
@@ -125,7 +125,7 @@ func metadataChurn(p *sim.Proc, fs *ffs.FS) {
 // crashAt replays the deterministic workload and freezes the system at t.
 // The returned image is a CloneImage copy: Crash's prefix commits have
 // landed, and nothing can mutate it behind the caller's back.
-func crashAt(t *testing.T, scheme string, allocInit bool, at sim.Time) []byte {
+func crashAt(t testing.TB, scheme string, allocInit bool, at sim.Time) []byte {
 	r := buildCrashRig(t, scheme, allocInit, metadataChurn)
 	r.eng.RunUntil(at)
 	r.drv.Crash(at)
@@ -133,7 +133,7 @@ func crashAt(t *testing.T, scheme string, allocInit bool, at sim.Time) []byte {
 }
 
 // totalRuntime measures the full (uncrashed) duration of the workload.
-func totalRuntime(t *testing.T, scheme string, allocInit bool) sim.Time {
+func totalRuntime(t testing.TB, scheme string, allocInit bool) sim.Time {
 	r := buildCrashRig(t, scheme, allocInit, metadataChurn)
 	r.eng.Run()
 	return r.eng.Now()
@@ -364,7 +364,7 @@ func TestDanglingEntryDetection(t *testing.T) {
 	}
 }
 
-func superblockOf(t *testing.T, img []byte) ffs.Superblock {
+func superblockOf(t testing.TB, img []byte) ffs.Superblock {
 	t.Helper()
 	d := disk.New(disk.HPC2447(), int64(len(img)))
 	copy(d.Image(), img)

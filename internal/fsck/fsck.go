@@ -109,6 +109,10 @@ type Report struct {
 	// AllocatedInodes and ReferencedFrags summarize the walk.
 	AllocatedInodes int
 	ReferencedFrags int
+	// noDetail suppresses Detail formatting in merge-time findings (Kind
+	// and Ino are always set). Only DeltaChecker.SkipDetails sets it, for
+	// callers that triage by Kind and re-check the few reports they keep.
+	noDetail bool
 }
 
 // Violations returns only the unrepairable findings.
@@ -134,7 +138,11 @@ func (r *Report) Repairables() []Finding {
 }
 
 func (r *Report) add(k Kind, ino ffs.Ino, format string, args ...interface{}) {
-	r.Findings = append(r.Findings, Finding{Kind: k, Ino: ino, Detail: fmt.Sprintf(format, args...)})
+	f := Finding{Kind: k, Ino: ino}
+	if !r.noDetail {
+		f.Detail = fmt.Sprintf(format, args...)
+	}
+	r.Findings = append(r.Findings, f)
 }
 
 type checker struct {
@@ -157,59 +165,26 @@ func (c *checker) frag(f int32) []byte {
 func Check(img []byte) *Report { return CheckImage(Bytes(img)) }
 
 // CheckImage walks the image — materialized or virtual — and returns the
-// integrity report.
+// integrity report. The walk derives per-inode and per-directory records
+// and replays them through the deterministic merge (passes.go): pass 1
+// claims every allocated inode's fragments, pass 2 walks the directory
+// tree counting references and validating entries, pass 3 reconciles link
+// counts (lower than the reference count risks premature free — an
+// integrity violation; higher is a repairable leak; Refs counts the parent
+// entry and ".", plus one ".." per child directory, matching the FFS
+// convention), pass 4 reconciles both bitmaps (repairable either way, but
+// referenced-but-free is the precursor to cross-links). All passes iterate
+// in ascending-inode order, so the report is deterministic.
 func CheckImage(img Image) *Report {
 	rep := &Report{Refs: make(map[ffs.Ino]int)}
-	c := &checker{img: img, rep: rep}
-	if err := decodeSB(img, &c.sb); err != nil {
+	var sb ffs.Superblock
+	if err := decodeSB(img, &sb); err != nil {
 		rep.add(BadSuperblock, 0, "%v", err)
 		return rep
 	}
-	c.fragOwner = make([]ffs.Ino, c.sb.TotalFrags-c.sb.DataStart)
-
-	// Pass 1: walk every allocated inode's block map, claiming fragments.
-	inodes := make(map[ffs.Ino]ffs.Inode)
-	for ino := ffs.Ino(2); uint32(ino) < c.sb.NInodes; ino++ {
-		ip := c.readInode(ino)
-		if !ip.Allocated() {
-			continue
-		}
-		rep.AllocatedInodes++
-		if ip.Mode != ffs.ModeFile && ip.Mode != ffs.ModeDir {
-			rep.add(TypeMismatch, ino, "bad mode %#x", ip.Mode)
-			continue
-		}
-		inodes[ino] = ip
-		c.claimFile(ino, &ip)
-	}
-
-	// Pass 2: walk the directory tree from the root, counting references
-	// and validating entries.
-	if root, ok := inodes[ffs.RootIno]; !ok || !root.IsDir() {
-		rep.add(BadSuperblock, ffs.RootIno, "root inode missing or not a directory")
-		return rep
-	}
-	for ino, ip := range inodes {
-		if ip.IsDir() {
-			c.checkDir(ino, ip, inodes)
-		}
-	}
-
-	// Pass 3: link counts. An on-disk count lower than the reference count
-	// risks premature free — integrity violation. Higher is a repairable
-	// leak. Directories: Refs counts the parent entry and ".", plus one
-	// ".." per child directory, matching the FFS convention.
-	for ino, ip := range inodes {
-		refs := rep.Refs[ino]
-		if int(ip.Nlink) < refs {
-			rep.add(LinkUndercount, ino, "nlink %d < %d references", ip.Nlink, refs)
-		} else if int(ip.Nlink) > refs {
-			rep.add(LinkOvercount, ino, "nlink %d > %d references", ip.Nlink, refs)
-		}
-	}
-	// Pass 4: bitmap reconciliation (repairable either way, but referenced-
-	// but-free is the precursor to cross-links, so it is worth reporting).
-	c.checkBitmaps(inodes)
+	st := newCheckState(sb)
+	st.deriveAll(img)
+	st.merge(img, rep)
 	return rep
 }
 
@@ -348,89 +323,6 @@ func (c *checker) dirData(ino ffs.Ino, ip ffs.Inode) []byte {
 		out = out[:ip.Size]
 	}
 	return out
-}
-
-func (c *checker) checkDir(ino ffs.Ino, ip ffs.Inode, inodes map[ffs.Ino]ffs.Inode) {
-	if ip.Size == 0 {
-		// A directory whose first block has not reached the disk yet (a
-		// rolled-back or not-yet-written mkdir). Structurally harmless:
-		// nothing references anything.
-		return
-	}
-	data := c.dirData(ino, ip)
-	sawDot, sawDotdot := false, false
-	for chunk := 0; chunk+ffs.DirChunk <= len(data); chunk += ffs.DirChunk {
-		off := chunk
-		for off < chunk+ffs.DirChunk {
-			if off+8 > len(data) {
-				break
-			}
-			le := binary.LittleEndian
-			entIno := ffs.Ino(le.Uint32(data[off:]))
-			reclen := int(le.Uint16(data[off+4:]))
-			namelen := int(data[off+6])
-			ftype := data[off+7]
-			if reclen < 8 || off+reclen > chunk+ffs.DirChunk || (entIno != 0 && off+8+namelen > off+reclen) {
-				c.rep.add(BadDirFormat, ino, "bad entry at offset %d (reclen %d)", off, reclen)
-				break
-			}
-			if entIno != 0 {
-				name := string(data[off+8 : off+8+namelen])
-				c.rep.Refs[entIno]++
-				target, ok := inodes[entIno]
-				switch {
-				case !ok:
-					c.rep.add(DanglingEntry, ino, "entry %q names unallocated inode %d", name, entIno)
-				case ftype == ffs.FtypeDir && !target.IsDir(),
-					ftype == ffs.FtypeFile && target.IsDir():
-					c.rep.add(TypeMismatch, ino, "entry %q type %d vs mode %#x", name, ftype, target.Mode)
-				}
-				switch name {
-				case ".":
-					sawDot = true
-					if entIno != ino {
-						c.rep.add(TypeMismatch, ino, "'.' names %d", entIno)
-					}
-				case "..":
-					sawDotdot = true
-				}
-			}
-			off += reclen
-		}
-	}
-	if !sawDot || !sawDotdot {
-		c.rep.add(BadDirFormat, ino, "missing '.' or '..'")
-	}
-}
-
-func (c *checker) checkBitmaps(inodes map[ffs.Ino]ffs.Inode) {
-	ibm := c.img.Range(int64(c.sb.IBmapStart)*ffs.FragSize, (int64(c.sb.NInodes)+7)/8)
-	for ino := ffs.Ino(2); uint32(ino) < c.sb.NInodes; ino++ {
-		set := ibm[ino/8]&(1<<(uint(ino)%8)) != 0
-		_, used := inodes[ino]
-		if used && !set {
-			c.rep.add(BitmapStale, ino, "allocated inode marked free")
-		} else if !used && set && ino > ffs.RootIno {
-			c.rep.add(LeakedInode, ino, "free inode marked allocated")
-		}
-	}
-	fbm := c.img.Range(int64(c.sb.FBmapStart)*ffs.FragSize, (int64(c.sb.TotalFrags)+7)/8)
-	leaks, stale := 0, 0
-	for f := c.sb.DataStart; f < c.sb.TotalFrags; f++ {
-		set := fbm[f/8]&(1<<(uint(f)%8)) != 0
-		owned := c.fragOwner[f-c.sb.DataStart] != 0
-		if owned && !set {
-			stale++
-		} else if !owned && set {
-			leaks++
-		}
-	}
-	if stale > 0 {
-		c.rep.add(BitmapStale, 0, "%d referenced fragments marked free", stale)
-	}
-	if leaks > 0 {
-		c.rep.add(LeakedBlock, 0, "%d fragments leaked (allocated but unreferenced)", leaks)
-	}
 }
 
 // DataMarkerMagic stamps crash-test file fragments (see ContentViolations).

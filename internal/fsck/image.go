@@ -1,5 +1,7 @@
 package fsck
 
+import "metaupdate/internal/ffs"
+
 // Image is a read-only view of a raw file-system image. It lets callers
 // hand the checker virtual images — crashmc's copy-on-write overlays
 // (committed base + per-sector write deltas) — without materializing a
@@ -14,8 +16,41 @@ type Image interface {
 	Range(off, n int64) []byte
 }
 
+// sectorSize is the granularity of DeltaImage dirty tracking. It equals
+// disk.SectorSize; fsck keeps its own copy so the package depends only on
+// the ffs layout (ffs.DirChunk — one directory chunk per sector — pins the
+// same value).
+const sectorSize = ffs.DirChunk
+
+// DeltaImage is an Image assembled from an immutable base plus a sparse
+// set of dirtied sectors — crashmc's copy-on-write crash-candidate
+// overlays. The incremental checker (see Baseline) uses the dirty-sector
+// set to re-derive only state whose backing sectors changed, splicing
+// cached results for the untouched remainder.
+type DeltaImage interface {
+	Image
+	// Base returns the underlying unmodified image. It must be identical
+	// (same bytes) to the image the Baseline was built from.
+	Base() Image
+	// DirtySectors returns the sectors (units of sectorSize bytes, offset
+	// sector*sectorSize) at which the delta may differ from the base, in
+	// any order, without duplicates. Sectors not listed must read exactly
+	// as the base. The slice is valid until the image is modified.
+	DirtySectors() []int64
+}
+
+// Forkable is implemented by images whose Range serves views from
+// per-instance scratch (and is therefore not concurrently callable).
+// Fork returns an independently usable view of the same bytes; the
+// pipelined checker forks once per goroutine.
+type Forkable interface {
+	Image
+	Fork() Image
+}
+
 // Bytes adapts a materialized image to Image. Views alias the slice
-// directly and remain valid indefinitely.
+// directly and remain valid indefinitely; Range is safe for concurrent
+// use.
 type Bytes []byte
 
 // Len implements Image.
@@ -23,3 +58,42 @@ func (b Bytes) Len() int64 { return int64(len(b)) }
 
 // Range implements Image.
 func (b Bytes) Range(off, n int64) []byte { return b[off : off+n] }
+
+// Materialize copies img into a fresh mutable byte slice. DeltaImages are
+// materialized delta-aware: one copy of the base plus the dirty sectors,
+// instead of a Range walk over the whole media.
+func Materialize(img Image) []byte {
+	n := img.Len()
+	out := make([]byte, n)
+	if d, ok := img.(DeltaImage); ok {
+		base := d.Base()
+		copyImage(out, base)
+		for _, s := range d.DirtySectors() {
+			off := s * sectorSize
+			copy(out[off:off+sectorSize], d.Range(off, sectorSize))
+		}
+		return out
+	}
+	copyImage(out, img)
+	return out
+}
+
+func copyImage(dst []byte, img Image) {
+	const chunk = 1 << 20
+	n := img.Len()
+	for off := int64(0); off < n; off += chunk {
+		m := n - off
+		if m > chunk {
+			m = chunk
+		}
+		copy(dst[off:], img.Range(off, m))
+	}
+}
+
+// RepairImage materializes img (delta-aware) and repairs it in place,
+// returning the repaired bytes and the actions taken — Repair for callers
+// holding virtual images.
+func RepairImage(img Image) ([]byte, []string) {
+	out := Materialize(img)
+	return out, Repair(out)
+}

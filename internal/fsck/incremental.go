@@ -1,0 +1,337 @@
+package fsck
+
+// Incremental checking. A Baseline is a fully derived record set for one
+// verified base image plus a reverse index from sectors to the records
+// derived from them. A DeltaChecker replays a DeltaImage (base + dirty
+// sectors) by re-deriving exactly the records whose recorded dependency
+// sectors intersect the delta and splicing the baseline records for the
+// rest, then running the same deterministic merge as CheckImage — so the
+// report is identical, field for field, to a full check of the
+// materialized delta.
+//
+// Soundness: a cached record is a pure function of the sectors in its
+// recorded deps (deriveInode reads the inode slot and its indirect blocks;
+// deriveDir reads the directory's direct data blocks — all recorded). If
+// none of those sectors is dirty, the delta serves them byte-identical to
+// the base, so re-derivation would reproduce the cached record. Everything
+// the merge reads beyond records — the bitmaps, through img.Range — is
+// read live from the delta each time. The superblock is the one input read
+// outside a record (geometry for every derivation); a delta that dirties
+// its sector falls back to a full check.
+
+import (
+	"bytes"
+
+	"metaupdate/internal/disk"
+	"metaupdate/internal/ffs"
+)
+
+// Baseline is the reusable derived state of one base image. It is
+// immutable after construction and safe for concurrent use by multiple
+// DeltaCheckers.
+type Baseline struct {
+	ok bool // superblock decoded; if false every Check falls back to full
+	sb ffs.Superblock
+	st *checkState
+	// rev maps a sector to the records derived from it; values encode
+	// ino<<1 | isDirParse. Indexed directly by sector number — Check runs
+	// once per dirty sector, and a map lookup there is measurable.
+	rev [][]uint32
+	// base is the image the records were derived from; the incremental
+	// merge diffs delta bitmap sectors against it.
+	base Image
+	// art is the baseline's own merge result, recorded for splicing.
+	art mergeArtifacts
+}
+
+// NewBaseline derives every record of base. workers > 1 derives in
+// parallel (pipeline.go); base must then support concurrent Range (Bytes
+// does) or implement Forkable.
+func NewBaseline(base Image, workers int) *Baseline {
+	bl := &Baseline{}
+	if err := decodeSB(base, &bl.sb); err != nil {
+		return bl // ok == false: checks against this baseline run full
+	}
+	bl.ok = true
+	bl.base = base
+	bl.st = newCheckState(bl.sb)
+	if workers > 1 {
+		deriveAllParallel(base, bl.st, workers)
+	} else {
+		bl.st.deriveAll(base)
+	}
+
+	// Run the baseline's own merge once, recording the artifacts the
+	// incremental merge splices against.
+	bl.art.rep.Refs = make(map[ffs.Ino]int)
+	bl.art.success = make([]int32, bl.sb.NInodes)
+	bl.art.ownBase = make([]ffs.Ino, bl.sb.TotalFrags-bl.sb.DataStart)
+	own := make([]uint64, bl.sb.TotalFrags-bl.sb.DataStart)
+	mergeReport(&bl.sb, base, bl.st, &bl.art.rep, own, 1, &bl.art)
+	bl.art.refDirs = make(map[ffs.Ino][]ffs.Ino)
+	for ino := ffs.Ino(2); uint32(ino) < bl.sb.NInodes; ino++ {
+		r := &bl.st.inodes[ino]
+		if !(r.alloc && r.ok && r.ip.IsDir()) {
+			continue
+		}
+		dr := &bl.st.dirs[ino]
+		for i := range dr.steps {
+			if st := &dr.steps[i]; !st.bad {
+				bl.art.refDirs[st.ino] = append(bl.art.refDirs[st.ino], ino)
+			}
+		}
+	}
+
+	bl.rev = make([][]uint32, int64(bl.sb.TotalFrags)*ffs.FragSize/disk.SectorSize)
+	add := func(s int64, v uint32) {
+		if s >= 0 && s < int64(len(bl.rev)) {
+			bl.rev[s] = append(bl.rev[s], v)
+		}
+	}
+	for ino := ffs.Ino(2); uint32(ino) < bl.sb.NInodes; ino++ {
+		r := &bl.st.inodes[ino]
+		for _, sr := range r.deps {
+			for s := sr.lo; s < sr.hi; s++ {
+				add(s, uint32(ino)<<1)
+			}
+		}
+		if r.alloc && r.ok && r.ip.IsDir() {
+			for _, sr := range bl.st.dirs[ino].deps {
+				for s := sr.lo; s < sr.hi; s++ {
+					add(s, uint32(ino)<<1|1)
+				}
+			}
+		}
+	}
+	return bl
+}
+
+// NInodes reports the baseline geometry (0 if the superblock was bad).
+func (bl *Baseline) NInodes() int {
+	if !bl.ok {
+		return 0
+	}
+	return int(bl.sb.NInodes)
+}
+
+// DeltaCheckerStats counts the work a DeltaChecker has done; the gap
+// between Checks×NInodes and InodesRederived is the incremental win.
+type DeltaCheckerStats struct {
+	Checks          int64
+	FullFallbacks   int64
+	InodesRederived int64
+	DirsReparsed    int64
+	// SplicedMerges counts checks served by the incremental merge
+	// (incmerge.go) rather than the full epoch merge.
+	SplicedMerges int64
+}
+
+// DeltaChecker checks DeltaImages against one Baseline, reusing all
+// scratch state across calls (epoch-stamped, so nothing is cleared per
+// check). Not safe for concurrent use; crashmc gives each pool worker its
+// own.
+type DeltaChecker struct {
+	bl    *Baseline
+	d     deriver
+	epoch uint64
+
+	inoStamp, dirStamp []uint64
+	freshIno           []inodeRec
+	freshDir           []dirRec
+	own                []uint64
+	rep                Report
+	dirtyInos          []ffs.Ino
+	dirtyDirs          []ffs.Ino
+	inc                incScratch
+
+	Stats DeltaCheckerStats
+}
+
+// NewDeltaChecker returns a checker bound to bl.
+func NewDeltaChecker(bl *Baseline) *DeltaChecker {
+	dc := &DeltaChecker{}
+	dc.Rebind(bl)
+	return dc
+}
+
+// Rebind points dc at a new baseline, keeping its scratch when the
+// geometry matches (the common case: successive committed images of one
+// exploration share a superblock).
+func (dc *DeltaChecker) Rebind(bl *Baseline) {
+	dc.bl = bl
+	if !bl.ok {
+		return
+	}
+	n := int(bl.sb.NInodes)
+	if len(dc.inoStamp) != n {
+		dc.inoStamp = make([]uint64, n)
+		dc.dirStamp = make([]uint64, n)
+		dc.freshIno = make([]inodeRec, n)
+		dc.freshDir = make([]dirRec, n)
+	}
+	if nd := int(bl.sb.TotalFrags - bl.sb.DataStart); len(dc.own) != nd {
+		dc.own = make([]uint64, nd)
+	}
+	dc.inc.sized(n, int(bl.sb.TotalFrags-bl.sb.DataStart))
+	// rep.Refs (if any) holds the previous baseline's reference counts;
+	// force a fresh sync on the next spliced merge.
+	dc.inc.refsSynced = false
+	if dc.epoch == 0 {
+		dc.epoch = 1
+	}
+	dc.d.sb = &dc.bl.sb
+}
+
+// SkipDetails controls whether merge-time findings carry formatted Detail
+// strings (the default). Callers that only triage reports by Kind — the
+// crash explorer keeps a handful of thousands — can skip the formatting,
+// which otherwise dominates the per-check cost, and re-check the keepers
+// with a full checker.
+func (dc *DeltaChecker) SkipDetails(skip bool) {
+	dc.rep.noDetail = skip
+}
+
+// recProvider: splice fresh records over the baseline.
+
+func (dc *DeltaChecker) inodeRec(ino ffs.Ino) *inodeRec {
+	if dc.inoStamp[ino] == dc.epoch {
+		return &dc.freshIno[ino]
+	}
+	return &dc.bl.st.inodes[ino]
+}
+
+func (dc *DeltaChecker) dirRec(ino ffs.Ino) *dirRec {
+	if dc.dirStamp[ino] == dc.epoch {
+		return &dc.freshDir[ino]
+	}
+	return &dc.bl.st.dirs[ino]
+}
+
+// Check verifies img incrementally. img.Base() must be byte-identical to
+// the image the bound Baseline was built from. The returned Report aliases
+// dc's reused scratch: it is valid until the next Check call.
+func (dc *DeltaChecker) Check(img DeltaImage) *Report {
+	dc.Stats.Checks++
+	if !dc.bl.ok {
+		dc.Stats.FullFallbacks++
+		return CheckImage(img)
+	}
+	dirty := img.DirtySectors()
+	for _, s := range dirty {
+		if s == 0 {
+			// The superblock feeds every derivation's geometry; a delta
+			// touching it cannot splice cached records soundly.
+			dc.Stats.FullFallbacks++
+			return CheckImage(img)
+		}
+	}
+
+	dc.epoch++
+	if dc.epoch >= 1<<32 {
+		// The ownership table packs the epoch into 32 bits; on wrap, clear
+		// all stamped state and restart.
+		dc.epoch = 1
+		for i := range dc.own {
+			dc.own[i] = 0
+		}
+		for i := range dc.inoStamp {
+			dc.inoStamp[i] = 0
+			dc.dirStamp[i] = 0
+		}
+	}
+
+	// Invalidate records whose dependency sectors intersect the delta.
+	// Inode-table sectors get a finer test: a 512-byte sector holds 4 inode
+	// slabs, and DirtySectors over-approximates, so diffing each slab
+	// against the base (128-byte compare) is far cheaper than re-deriving
+	// an unchanged inode (decode + claim walk). An inode whose slab is
+	// clean but whose indirect block changed is still caught — the
+	// indirect sector is its own recorded dep and takes the rev path.
+	dc.dirtyInos = dc.dirtyInos[:0]
+	dc.dirtyDirs = dc.dirtyDirs[:0]
+	itLo := int64(dc.bl.sb.InodeStart) * ffs.FragSize
+	itHi := int64(dc.bl.sb.IBmapStart) * ffs.FragSize
+	for _, s := range dirty {
+		if b := s * disk.SectorSize; b >= itLo && b < itHi {
+			cur := img.Range(b, disk.SectorSize)
+			old := dc.bl.base.Range(b, disk.SectorSize)
+			if bytes.Equal(cur, old) {
+				continue
+			}
+			rel := b - itLo
+			ino0 := ffs.Ino(rel/ffs.BlockSize*ffs.InodesPerBlock + rel%ffs.BlockSize/ffs.InodeSize)
+			for k := 0; k < disk.SectorSize/ffs.InodeSize; k++ {
+				ino := ino0 + ffs.Ino(k)
+				if ino < 2 || uint32(ino) >= dc.bl.sb.NInodes {
+					continue
+				}
+				if bytes.Equal(cur[k*ffs.InodeSize:(k+1)*ffs.InodeSize], old[k*ffs.InodeSize:(k+1)*ffs.InodeSize]) {
+					continue
+				}
+				if dc.inoStamp[ino] != dc.epoch {
+					dc.inoStamp[ino] = dc.epoch
+					dc.dirtyInos = append(dc.dirtyInos, ino)
+				}
+			}
+			continue
+		}
+		if s < 0 || s >= int64(len(dc.bl.rev)) {
+			continue // past the filesystem: no record depends on it
+		}
+		for _, v := range dc.bl.rev[s] {
+			ino := ffs.Ino(v >> 1)
+			if v&1 == 0 {
+				if dc.inoStamp[ino] != dc.epoch {
+					dc.inoStamp[ino] = dc.epoch
+					dc.dirtyInos = append(dc.dirtyInos, ino)
+				}
+			} else if dc.dirStamp[ino] != dc.epoch {
+				dc.dirStamp[ino] = dc.epoch
+				dc.dirtyDirs = append(dc.dirtyDirs, ino)
+			}
+		}
+	}
+
+	// Re-derive invalidated inodes against the delta; a re-derived inode
+	// that is (still or newly) a valid directory needs its parse refreshed
+	// too, since the parse starts from the inode's block pointers.
+	dc.d.img = img
+	for _, ino := range dc.dirtyInos {
+		r := &dc.freshIno[ino]
+		dc.d.deriveInode(ino, r)
+		dc.Stats.InodesRederived++
+		if r.alloc && r.ok && r.ip.IsDir() && dc.dirStamp[ino] != dc.epoch {
+			dc.dirStamp[ino] = dc.epoch
+			dc.dirtyDirs = append(dc.dirtyDirs, ino)
+		}
+	}
+	for _, ino := range dc.dirtyDirs {
+		r := dc.inodeRec(ino)
+		if r.alloc && r.ok && r.ip.IsDir() {
+			dc.d.deriveDir(ino, &r.ip, &dc.freshDir[ino])
+			dc.Stats.DirsReparsed++
+		}
+		// Otherwise the slot is stamped but never consulted: the merge
+		// only asks for directories the spliced inode view calls valid.
+	}
+
+	if dc.tryIncMerge(img, dirty) {
+		dc.Stats.SplicedMerges++
+		return &dc.rep
+	}
+	dc.inc.refsSynced = false // the full merge rebuilds rep.Refs from scratch
+	dc.rep.reset()
+	mergeReport(&dc.bl.sb, img, dc, &dc.rep, dc.own, dc.epoch, nil)
+	return &dc.rep
+}
+
+func (r *Report) reset() {
+	r.Findings = r.Findings[:0]
+	if r.Refs == nil {
+		r.Refs = make(map[ffs.Ino]int)
+	} else {
+		clear(r.Refs)
+	}
+	r.AllocatedInodes = 0
+	r.ReferencedFrags = 0
+}

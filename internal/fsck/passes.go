@@ -1,0 +1,556 @@
+package fsck
+
+// The checker is structured as pure per-object derivations feeding a
+// deterministic global merge — the decomposition behind both the
+// incremental checker (incremental.go) and the pass-pipelined parallel
+// checker (pipeline.go):
+//
+//   - deriveInode produces, for one inode, an ordered script of steps: the
+//     findings its block-map walk emits plus the fragment runs it claims.
+//     The script depends only on bytes the walk itself reads (the inode
+//     slot, its indirect blocks), which deriveInode records as sector
+//     ranges in the record's deps.
+//
+//   - deriveDir produces, for one directory, the parsed entry list (with
+//     pre-rendered bad-format findings) and the "."/".." summary. It
+//     depends only on the inode's direct data blocks, also recorded.
+//
+//   - mergeReport replays the scripts in ascending-inode order against a
+//     shared fragment-ownership table, emitting cross-links, reference
+//     counts, link-count results, and bitmap reconciliation exactly as the
+//     historical single-pass checker did. Merge order is fixed, so the
+//     report is byte-deterministic regardless of how (or when, or on which
+//     goroutine) the records were derived.
+//
+// Derivations are pure functions of the image bytes they read, which is
+// what makes records cacheable across delta images (see incremental.go)
+// and derivable concurrently (see pipeline.go).
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"metaupdate/internal/ffs"
+)
+
+// claimStepKind marks an istep as a fragment-run claim rather than a
+// pre-rendered finding.
+const claimStepKind Kind = -1
+
+// istep is one step of an inode's replayable walk script.
+type istep struct {
+	kind   Kind // claimStepKind, or the Finding kind
+	start  int32
+	n      int32
+	detail string
+}
+
+// secRange is a half-open sector range [lo, hi).
+type secRange struct{ lo, hi int64 }
+
+// inodeRec is the cached derivation for one inode slot.
+type inodeRec struct {
+	alloc bool // inode is allocated
+	ok    bool // allocated with a valid mode (member of the inode view)
+	ip    ffs.Inode
+	steps []istep
+	// deps are the sectors the derivation read: the inode's own table
+	// sector plus any indirect blocks. (Not the claimed data fragments —
+	// the walk never reads those.)
+	deps []secRange
+}
+
+func (r *inodeRec) addf(k Kind, format string, args ...interface{}) {
+	r.steps = append(r.steps, istep{kind: k, detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *inodeRec) dep(off, n int64) {
+	r.deps = append(r.deps, secRange{off / sectorSize, (off + n + sectorSize - 1) / sectorSize})
+}
+
+// dstep is one parsed directory entry (or a pre-rendered bad-format
+// finding terminating a chunk). Entry names live in the owning dirRec's
+// names arena — a string field here would cost one heap allocation per
+// entry per re-parse, which the incremental checker's steady state can't
+// afford.
+type dstep struct {
+	bad              bool
+	detail           string
+	ino              ffs.Ino
+	nameOff, nameLen int32
+	ftype            byte
+}
+
+// dirRec is the cached parse for one directory's data.
+type dirRec struct {
+	empty             bool // Size == 0: nothing to check
+	sawDot, sawDotdot bool
+	steps             []dstep
+	names             []byte // arena backing the steps' entry names
+	deps              []secRange
+}
+
+func (r *dirRec) name(st *dstep) []byte {
+	return r.names[st.nameOff : st.nameOff+st.nameLen]
+}
+
+func (r *dirRec) dep(off, n int64) {
+	r.deps = append(r.deps, secRange{off / sectorSize, (off + n + sectorSize - 1) / sectorSize})
+}
+
+// deriver derives records from one image. Not safe for concurrent use
+// (dirBuf scratch, and Image implementations may rotate scratch); the
+// pipeline gives each goroutine its own deriver over a forked image.
+type deriver struct {
+	img    Image
+	sb     *ffs.Superblock
+	dirBuf []byte
+}
+
+// deriveInode computes ino's walk script into r, resetting it first.
+func (d *deriver) deriveInode(ino ffs.Ino, r *inodeRec) {
+	r.steps = r.steps[:0]
+	r.deps = r.deps[:0]
+	frag, off := d.sb.InodeFrag(ino)
+	ioff := int64(frag)*ffs.FragSize + int64(off)
+	r.dep(ioff, ffs.InodeSize)
+	ffs.DecodeInodeInto(&r.ip, d.img.Range(ioff, ffs.InodeSize))
+	r.alloc = r.ip.Allocated()
+	r.ok = false
+	if !r.alloc {
+		return
+	}
+	if r.ip.Mode != ffs.ModeFile && r.ip.Mode != ffs.ModeDir {
+		r.addf(TypeMismatch, "bad mode %#x", r.ip.Mode)
+		return
+	}
+	r.ok = true
+	d.walkFile(r)
+}
+
+// claim appends a claim step for [start, start+n), or a BadPointer finding
+// if the run leaves the data region — mirroring checker.claim except that
+// cross-link detection happens at merge time (it needs global state).
+func (d *deriver) claim(r *inodeRec, start int32, n int) bool {
+	if start < d.sb.DataStart || start+int32(n) > d.sb.TotalFrags {
+		r.addf(BadPointer, "fragment run [%d,%d) outside data region", start, start+int32(n))
+		return false
+	}
+	r.steps = append(r.steps, istep{kind: claimStepKind, start: start, n: int32(n)})
+	return true
+}
+
+// walkFile mirrors checker.claimFile step for step.
+func (d *deriver) walkFile(r *inodeRec) {
+	ip := &r.ip
+	nblocks := (int(ip.Size) + ffs.BlockSize - 1) / ffs.BlockSize
+	runLen := func(bi int) int {
+		if bi == nblocks-1 {
+			rem := int(ip.Size) % ffs.BlockSize
+			if rem == 0 {
+				return ffs.BlockFrags
+			}
+			return (rem + ffs.FragSize - 1) / ffs.FragSize
+		}
+		return ffs.BlockFrags
+	}
+	bi := 0
+	for ; bi < nblocks && bi < ffs.NDirect; bi++ {
+		if ip.Direct[bi] == 0 {
+			r.addf(ShortFile, "size implies direct block %d but it is unset", bi)
+			continue
+		}
+		d.claim(r, ip.Direct[bi], runLen(bi))
+	}
+	if bi < nblocks && ip.Indir == 0 {
+		r.addf(ShortFile, "size %d implies an indirect block but none is set", ip.Size)
+		return
+	}
+	if ip.Indir != 0 {
+		if d.claim(r, ip.Indir, ffs.BlockFrags) {
+			r.dep(int64(ip.Indir)*ffs.FragSize, ffs.BlockSize)
+			data := d.img.Range(int64(ip.Indir)*ffs.FragSize, ffs.BlockSize)
+			for i := 0; i < ffs.PtrsPerBlock && bi < nblocks; i, bi = i+1, bi+1 {
+				ptr := int32(binary.LittleEndian.Uint32(data[i*4:]))
+				if ptr == 0 {
+					r.addf(ShortFile, "hole at indirect slot %d", i)
+					continue
+				}
+				d.claim(r, ptr, runLen(bi))
+			}
+		} else {
+			bi += ffs.PtrsPerBlock
+		}
+	}
+	if ip.Dindir != 0 {
+		if d.claim(r, ip.Dindir, ffs.BlockFrags) {
+			r.dep(int64(ip.Dindir)*ffs.FragSize, ffs.BlockSize)
+			var l1ptrs [ffs.PtrsPerBlock]int32
+			ddata := d.img.Range(int64(ip.Dindir)*ffs.FragSize, ffs.BlockSize)
+			for l1 := range l1ptrs {
+				l1ptrs[l1] = int32(binary.LittleEndian.Uint32(ddata[l1*4:]))
+			}
+			for l1 := 0; l1 < ffs.PtrsPerBlock && bi < nblocks; l1++ {
+				l1ptr := l1ptrs[l1]
+				if l1ptr == 0 {
+					r.addf(ShortFile, "hole at dindirect slot %d", l1)
+					bi += ffs.PtrsPerBlock
+					continue
+				}
+				if !d.claim(r, l1ptr, ffs.BlockFrags) {
+					bi += ffs.PtrsPerBlock
+					continue
+				}
+				r.dep(int64(l1ptr)*ffs.FragSize, ffs.BlockSize)
+				ldata := d.img.Range(int64(l1ptr)*ffs.FragSize, ffs.BlockSize)
+				for l2 := 0; l2 < ffs.PtrsPerBlock && bi < nblocks; l2, bi = l2+1, bi+1 {
+					ptr := int32(binary.LittleEndian.Uint32(ldata[l2*4:]))
+					if ptr == 0 {
+						r.addf(ShortFile, "hole under dindirect")
+						continue
+					}
+					d.claim(r, ptr, runLen(bi))
+				}
+			}
+		}
+	}
+}
+
+// deriveDir parses ino's directory data (per ip) into r, resetting it
+// first. It mirrors the parse half of the historical checkDir; the
+// target-dependent checks (dangling entries, type mismatches) happen at
+// merge time because they consult other inodes' state.
+func (d *deriver) deriveDir(ino ffs.Ino, ip *ffs.Inode, r *dirRec) {
+	r.steps = r.steps[:0]
+	r.names = r.names[:0]
+	r.deps = r.deps[:0]
+	r.sawDot, r.sawDotdot = false, false
+	r.empty = ip.Size == 0
+	if r.empty {
+		// A directory whose first block has not reached the disk yet (a
+		// rolled-back or not-yet-written mkdir). Structurally harmless.
+		return
+	}
+	data := d.dirData(ip, r)
+	for chunk := 0; chunk+ffs.DirChunk <= len(data); chunk += ffs.DirChunk {
+		off := chunk
+		for off < chunk+ffs.DirChunk {
+			if off+8 > len(data) {
+				break
+			}
+			le := binary.LittleEndian
+			entIno := ffs.Ino(le.Uint32(data[off:]))
+			reclen := int(le.Uint16(data[off+4:]))
+			namelen := int(data[off+6])
+			ftype := data[off+7]
+			if reclen < 8 || off+reclen > chunk+ffs.DirChunk || (entIno != 0 && off+8+namelen > off+reclen) {
+				r.steps = append(r.steps, dstep{bad: true,
+					detail: fmt.Sprintf("bad entry at offset %d (reclen %d)", off, reclen)})
+				break
+			}
+			if entIno != 0 {
+				name := data[off+8 : off+8+namelen]
+				r.steps = append(r.steps, dstep{ino: entIno, ftype: ftype,
+					nameOff: int32(len(r.names)), nameLen: int32(namelen)})
+				r.names = append(r.names, name...)
+				if namelen == 1 && name[0] == '.' {
+					r.sawDot = true
+				} else if namelen == 2 && name[0] == '.' && name[1] == '.' {
+					r.sawDotdot = true
+				}
+			}
+			off += reclen
+		}
+	}
+}
+
+// dirData materializes directory contents into the deriver's reused
+// scratch, recording the sectors read. Mirrors checker.dirData.
+func (d *deriver) dirData(ip *ffs.Inode, r *dirRec) []byte {
+	out := d.dirBuf[:0]
+	nblocks := (int(ip.Size) + ffs.BlockSize - 1) / ffs.BlockSize
+	for bi := 0; bi < nblocks && bi < ffs.NDirect; bi++ {
+		ptr := ip.Direct[bi]
+		if ptr == 0 || ptr < d.sb.DataStart || ptr >= d.sb.TotalFrags {
+			break // already reported by the inode walk
+		}
+		n := ffs.BlockSize
+		if rem := int(ip.Size) - bi*ffs.BlockSize; rem < n {
+			n = (rem + ffs.FragSize - 1) / ffs.FragSize * ffs.FragSize
+		}
+		r.dep(int64(ptr)*ffs.FragSize, int64(n))
+		// Sector-at-a-time: against a delta image, whole-block Range
+		// assembles dirty blocks in scratch before append copies them
+		// again, while per-sector reads alias either the base or the
+		// writer's view and copy once.
+		for boff := int64(0); boff < int64(n); boff += sectorSize {
+			out = append(out, d.img.Range(int64(ptr)*ffs.FragSize+boff, sectorSize)...)
+		}
+	}
+	if int(ip.Size) < len(out) {
+		out = out[:ip.Size]
+	}
+	d.dirBuf = out
+	return out
+}
+
+// recProvider supplies the records the merge replays. The full checker
+// serves freshly derived slices; the incremental checker splices baseline
+// records with re-derived ones.
+type recProvider interface {
+	inodeRec(ino ffs.Ino) *inodeRec
+	dirRec(ino ffs.Ino) *dirRec
+}
+
+// inoSeg locates one inode's contiguous run of findings inside a pass.
+type inoSeg struct {
+	ino        ffs.Ino
+	start, end int32
+}
+
+// mergeArtifacts is everything a Baseline's full merge learned, in the
+// shape the incremental merge (incmerge.go) needs to splice per-inode
+// results: per-pass finding segments in ascending-inode order, the final
+// fragment-ownership table, per-inode successful-claim counts, a reverse
+// index from inodes to the directories whose entries name them, and the
+// pass-4 aggregate counters.
+type mergeArtifacts struct {
+	rep  Report
+	segs [4][]inoSeg // per pass, ascending ino; only inos with findings
+
+	ownBase []ffs.Ino // frag - DataStart -> sole claimant (0 = unclaimed)
+	success []int32   // per ino: successful claims in pass 1
+
+	refDirs map[ffs.Ino][]ffs.Ino // target ino -> dirs with an entry naming it
+
+	aggStale, aggLeaks int
+
+	// conflictFree: no CrossLink findings, so ownBase's single-claimant
+	// entries describe the complete claim relation. rootOK: the merge ran
+	// all four passes (no early return). The incremental merge requires
+	// both.
+	conflictFree bool
+	rootOK       bool
+}
+
+// seg records ino's findings slice [start, len(rep.Findings)) for pass p.
+func (a *mergeArtifacts) seg(p int, ino ffs.Ino, start int) {
+	if a != nil && len(a.rep.Findings) > start {
+		a.segs[p] = append(a.segs[p], inoSeg{ino, int32(start), int32(len(a.rep.Findings))})
+	}
+}
+
+// mergeReport replays the records in ascending-inode order, reproducing
+// the historical four passes. own is the fragment-ownership table (one
+// entry per data fragment), epoch-tagged so callers can reuse it across
+// checks without clearing: entry (epoch<<32 | ino) is live only when its
+// epoch matches. epoch must be >= 1. A non-nil art (whose rep must be the
+// same object as rep) additionally records the merge's artifacts for
+// incremental re-merging.
+func mergeReport(sb *ffs.Superblock, img Image, pr recProvider, rep *Report, own []uint64, epoch uint64, art *mergeArtifacts) {
+	tag := epoch << 32
+	if art != nil {
+		art.conflictFree = true
+	}
+
+	// Pass 1: replay every allocated inode's walk script, claiming
+	// fragments (first claimant wins; later claimants cross-link).
+	for ino := ffs.Ino(2); uint32(ino) < sb.NInodes; ino++ {
+		r := pr.inodeRec(ino)
+		if !r.alloc {
+			continue
+		}
+		rep.AllocatedInodes++
+		mark := len(rep.Findings)
+		success := int32(0)
+		for i := range r.steps {
+			st := &r.steps[i]
+			if st.kind != claimStepKind {
+				rep.Findings = append(rep.Findings, Finding{Kind: st.kind, Ino: ino, Detail: st.detail})
+				continue
+			}
+			for f := st.start; f < st.start+st.n; f++ {
+				idx := f - sb.DataStart
+				if e := own[idx]; e>>32 == epoch && ffs.Ino(uint32(e)) != ino {
+					rep.add(CrossLink, ino, "fragment %d also owned by inode %d", f, ffs.Ino(uint32(e)))
+					if art != nil {
+						art.conflictFree = false
+					}
+					continue
+				}
+				own[idx] = tag | uint64(uint32(ino))
+				rep.ReferencedFrags++
+				success++
+			}
+		}
+		if art != nil {
+			art.success[ino] = success
+			art.seg(0, ino, mark)
+		}
+	}
+
+	// Pass 2: directory tree from the root, counting references and
+	// validating entries, in ascending-inode order.
+	root := pr.inodeRec(ffs.RootIno)
+	if !root.alloc || !root.ok || !root.ip.IsDir() {
+		rep.add(BadSuperblock, ffs.RootIno, "root inode missing or not a directory")
+		return
+	}
+	if art != nil {
+		art.rootOK = true
+	}
+	for ino := ffs.Ino(2); uint32(ino) < sb.NInodes; ino++ {
+		r := pr.inodeRec(ino)
+		if r.alloc && r.ok && r.ip.IsDir() {
+			mark := len(rep.Findings)
+			mergeDir(sb, pr, ino, pr.dirRec(ino), rep)
+			art.seg(1, ino, mark)
+		}
+	}
+
+	// Pass 3: link counts, ascending-inode order.
+	for ino := ffs.Ino(2); uint32(ino) < sb.NInodes; ino++ {
+		r := pr.inodeRec(ino)
+		if !r.alloc || !r.ok {
+			continue
+		}
+		mark := len(rep.Findings)
+		mergeLink(&r.ip, ino, rep.Refs[ino], rep)
+		art.seg(2, ino, mark)
+	}
+
+	// Pass 4: bitmap reconciliation, reading the (possibly delta) image
+	// live — the delta itself is the bitmap shadow.
+	ibm := img.Range(int64(sb.IBmapStart)*ffs.FragSize, (int64(sb.NInodes)+7)/8)
+	for ino := ffs.Ino(2); uint32(ino) < sb.NInodes; ino++ {
+		set := ibm[ino/8]&(1<<(uint(ino)%8)) != 0
+		r := pr.inodeRec(ino)
+		mark := len(rep.Findings)
+		mergeIbm(r.alloc && r.ok, set, ino, rep)
+		art.seg(3, ino, mark)
+	}
+	fbm := img.Range(int64(sb.FBmapStart)*ffs.FragSize, (int64(sb.TotalFrags)+7)/8)
+	leaks, stale := 0, 0
+	for f := sb.DataStart; f < sb.TotalFrags; f++ {
+		set := fbm[f/8]&(1<<(uint(f)%8)) != 0
+		owned := own[f-sb.DataStart]>>32 == epoch
+		if owned && !set {
+			stale++
+		} else if !owned && set {
+			leaks++
+		}
+	}
+	if art != nil {
+		art.aggStale, art.aggLeaks = stale, leaks
+		for f := sb.DataStart; f < sb.TotalFrags; f++ {
+			if e := own[f-sb.DataStart]; e>>32 == epoch {
+				art.ownBase[f-sb.DataStart] = ffs.Ino(uint32(e))
+			}
+		}
+	}
+	mergeFragAgg(stale, leaks, rep)
+}
+
+// mergeLink emits ino's pass-3 link-count finding, if any.
+func mergeLink(ip *ffs.Inode, ino ffs.Ino, refs int, rep *Report) {
+	if int(ip.Nlink) < refs {
+		rep.add(LinkUndercount, ino, "nlink %d < %d references", ip.Nlink, refs)
+	} else if int(ip.Nlink) > refs {
+		rep.add(LinkOvercount, ino, "nlink %d > %d references", ip.Nlink, refs)
+	}
+}
+
+// mergeIbm emits ino's pass-4 inode-bitmap finding, if any.
+func mergeIbm(used, set bool, ino ffs.Ino, rep *Report) {
+	if used && !set {
+		rep.add(BitmapStale, ino, "allocated inode marked free")
+	} else if !used && set && ino > ffs.RootIno {
+		rep.add(LeakedInode, ino, "free inode marked allocated")
+	}
+}
+
+// mergeFragAgg emits the trailing pass-4 aggregate findings.
+func mergeFragAgg(stale, leaks int, rep *Report) {
+	if stale > 0 {
+		rep.add(BitmapStale, 0, "%d referenced fragments marked free", stale)
+	}
+	if leaks > 0 {
+		rep.add(LeakedBlock, 0, "%d fragments leaked (allocated but unreferenced)", leaks)
+	}
+}
+
+// mergeDir replays one directory's parse against the current inode view.
+func mergeDir(sb *ffs.Superblock, pr recProvider, ino ffs.Ino, dr *dirRec, rep *Report) {
+	if dr.empty {
+		return
+	}
+	for i := range dr.steps {
+		st := &dr.steps[i]
+		if st.bad {
+			rep.Findings = append(rep.Findings, Finding{Kind: BadDirFormat, Ino: ino, Detail: st.detail})
+			continue
+		}
+		rep.Refs[st.ino]++
+		var target *ffs.Inode
+		if uint32(st.ino) >= 2 && uint32(st.ino) < sb.NInodes {
+			if tr := pr.inodeRec(st.ino); tr.alloc && tr.ok {
+				target = &tr.ip
+			}
+		}
+		name := dr.name(st)
+		switch {
+		case target == nil:
+			rep.add(DanglingEntry, ino, "entry %q names unallocated inode %d", name, st.ino)
+		case st.ftype == ffs.FtypeDir && !target.IsDir(),
+			st.ftype == ffs.FtypeFile && target.IsDir():
+			rep.add(TypeMismatch, ino, "entry %q type %d vs mode %#x", name, st.ftype, target.Mode)
+		}
+		if st.nameLen == 1 && name[0] == '.' && st.ino != ino {
+			rep.add(TypeMismatch, ino, "'.' names %d", st.ino)
+		}
+	}
+	if !dr.sawDot || !dr.sawDotdot {
+		rep.add(BadDirFormat, ino, "missing '.' or '..'")
+	}
+}
+
+// checkState is a full set of freshly derived records for one image; it is
+// the trivial recProvider behind CheckImage and CheckImagePipelined, and
+// the construction state of a Baseline.
+type checkState struct {
+	sb     ffs.Superblock
+	inodes []inodeRec
+	dirs   []dirRec
+}
+
+func newCheckState(sb ffs.Superblock) *checkState {
+	return &checkState{
+		sb:     sb,
+		inodes: make([]inodeRec, sb.NInodes),
+		dirs:   make([]dirRec, sb.NInodes),
+	}
+}
+
+func (st *checkState) inodeRec(ino ffs.Ino) *inodeRec { return &st.inodes[ino] }
+func (st *checkState) dirRec(ino ffs.Ino) *dirRec     { return &st.dirs[ino] }
+
+// deriveAll derives every inode record and every valid directory's parse,
+// serially.
+func (st *checkState) deriveAll(img Image) {
+	d := deriver{img: img, sb: &st.sb}
+	for ino := ffs.Ino(2); uint32(ino) < st.sb.NInodes; ino++ {
+		d.deriveInode(ino, &st.inodes[ino])
+	}
+	for ino := ffs.Ino(2); uint32(ino) < st.sb.NInodes; ino++ {
+		r := &st.inodes[ino]
+		if r.alloc && r.ok && r.ip.IsDir() {
+			d.deriveDir(ino, &r.ip, &st.dirs[ino])
+		}
+	}
+}
+
+// merge replays st's records into rep with a fresh ownership table.
+func (st *checkState) merge(img Image, rep *Report) {
+	own := make([]uint64, st.sb.TotalFrags-st.sb.DataStart)
+	mergeReport(&st.sb, img, st, rep, own, 1, nil)
+}

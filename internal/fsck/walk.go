@@ -1,0 +1,88 @@
+package fsck
+
+import (
+	"encoding/binary"
+
+	"metaupdate/internal/ffs"
+)
+
+// WalkEntry is one live directory entry visited by WalkTree ("." and ".."
+// are skipped).
+type WalkEntry struct {
+	Parent ffs.Ino // directory holding the entry
+	Depth  int     // 0 for entries of the root directory
+	Name   string
+	Ftype  uint8
+	Ino    ffs.Ino   // the entry's target
+	Inode  ffs.Inode // target's decoded inode (zero value when Ino is out of range)
+}
+
+// WalkTree walks the image's directory tree from the root in breadth-first
+// order, calling fn for every live entry; fn returning false stops the
+// walk. Parents are always visited before their children's entries, so fn
+// can classify a directory when its entry appears and consult that
+// classification for the entries inside it.
+//
+// The walk is corruption-tolerant — it is meant for oracles over crash
+// images, where structural damage is fsck's business, not the walker's: a
+// bad superblock walks nothing, out-of-range pointers and malformed entry
+// chains end the affected directory, revisited directories (cycles,
+// cross-linked entries) are skipped, and entries naming out-of-range
+// inodes are reported with a zero Inode and never descended into.
+func WalkTree(img Image, fn func(e WalkEntry) bool) {
+	var sb ffs.Superblock
+	if err := decodeSB(img, &sb); err != nil {
+		return
+	}
+	c := &checker{img: img, sb: sb}
+	type dirAt struct {
+		ino   ffs.Ino
+		depth int
+	}
+	visited := make([]bool, sb.NInodes)
+	if uint32(ffs.RootIno) >= sb.NInodes {
+		return
+	}
+	visited[ffs.RootIno] = true
+	queue := []dirAt{{ffs.RootIno, 0}}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		ip := c.readInode(d.ino)
+		if !ip.IsDir() {
+			continue
+		}
+		data := c.dirData(d.ino, ip)
+		for chunk := 0; chunk+ffs.DirChunk <= len(data); chunk += ffs.DirChunk {
+			off := chunk
+			for off+8 <= chunk+ffs.DirChunk {
+				le := binary.LittleEndian
+				entIno := ffs.Ino(le.Uint32(data[off:]))
+				reclen := int(le.Uint16(data[off+4:]))
+				namelen := int(data[off+6])
+				if reclen < 8 || off+reclen > chunk+ffs.DirChunk || off+8+namelen > off+reclen {
+					break // malformed chain; fsck reports it
+				}
+				if entIno != 0 {
+					name := string(data[off+8 : off+8+namelen])
+					if name != "." && name != ".." {
+						e := WalkEntry{Parent: d.ino, Depth: d.depth,
+							Name: name, Ftype: data[off+7], Ino: entIno}
+						inRange := entIno >= 2 && uint32(entIno) < sb.NInodes
+						if inRange {
+							e.Inode = c.readInode(entIno)
+						}
+						if !fn(e) {
+							return
+						}
+						if inRange && e.Inode.IsDir() && !visited[entIno] {
+							visited[entIno] = true
+							queue = append(queue, dirAt{entIno, d.depth + 1})
+						}
+					}
+				}
+				off += reclen
+			}
+		}
+	}
+}

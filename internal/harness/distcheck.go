@@ -1,0 +1,382 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"metaupdate/fsim"
+	"metaupdate/internal/crashmc"
+	"metaupdate/internal/dmeta"
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/fsck"
+)
+
+// DistCrashCheckOptions parameterizes one cluster-wide model-checked run.
+type DistCrashCheckOptions struct {
+	// Scheme is the per-node ordering scheme. The zero value is
+	// fsim.NoOrder (it is the iota base), so no default is applied —
+	// callers say what they mean.
+	Scheme fsim.Scheme
+	// Nodes is the shard count (default 4).
+	Nodes int
+	// Clients / Ops shape the dmeta load (defaults: Nodes clients, 40 ops
+	// each) — the mix includes cross-partition renames and links, so the
+	// two-phase prepare/commit path is always exercised.
+	Clients, Ops int
+	// Churn is the paper's create/remove workload at cluster level: after
+	// the mixed load, Churn files are created under one directory, synced,
+	// then removed — so the final flush carries remove-ordering traffic on
+	// every shard (that is where unordered schemes violate). Default 24.
+	Churn int
+	// Seed keys the cluster's decision streams and the workload.
+	Seed int64
+	// MC bounds each node's exploration; zero values take crashmc
+	// defaults. The per-node budget is MC.Budget (not divided), so a
+	// 4-node run checks up to 4x MC.Budget states.
+	MC crashmc.Config
+}
+
+func (o *DistCrashCheckOptions) setDefaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Clients <= 0 {
+		o.Clients = o.Nodes
+	}
+	if o.Ops <= 0 {
+		o.Ops = 40
+	}
+	if o.Churn <= 0 {
+		o.Churn = 24
+	}
+}
+
+// DistNodeCheck is one node's exploration outcome.
+type DistNodeCheck struct {
+	Node   int
+	Result *crashmc.Result
+}
+
+// DistCrashCheckResult is the union outcome of checking every node of a
+// crashed cluster: the per-node crash-state explorations (each against
+// fsck plus the naming-discipline oracle) and the cross-node reference
+// scan over the actual crash-cut images.
+type DistCrashCheckResult struct {
+	Load  dmeta.LoadResult
+	Nodes []DistNodeCheck
+
+	// Union counters over all nodes' explorations.
+	Checked, Violating int64
+	CheckedPerSec      float64
+
+	// Cross-node union scan of the crash-cut images. A dentry file on any
+	// node names a logical inode; BackedInodes counts the logical inodes
+	// with a backing file, DentryRefs the dentry references found.
+	// CrossDangling (a reference whose target is backed nowhere) and
+	// CrossDoubleOwned (an inode backed on two nodes — a migration caught
+	// between copy and delete) are informational, not violations: they
+	// describe one legal crash cut, and recovery reconciles them from the
+	// surviving local images.
+	BackedInodes, DentryRefs        int
+	CrossDangling, CrossDoubleOwned int
+}
+
+// Clean reports whether no node's exploration found a violating image.
+func (r *DistCrashCheckResult) Clean() bool { return r.Violating == 0 }
+
+// DistCrashCheck builds a sharded metadata cluster, drives the mixed
+// dmeta load against it, power-fails every node at once, and
+// bounded-exhaustively explores each node's crash-state space — fsck's
+// structural rules plus a naming-discipline oracle over dmeta's backing
+// layout (/i/x<hex> inode files, /d/p<hex>/<name>=<hex> dentry files).
+// The per-node explorations reuse the recorded write timelines, so the
+// incremental checker's Baseline/delta machinery does the heavy lifting
+// exactly as in the single-machine sweep.
+func DistCrashCheck(opt DistCrashCheckOptions) (*DistCrashCheckResult, error) {
+	opt.setDefaults()
+	sys, err := fsim.NewDist(fsim.DistOptions{
+		Base: fsim.Options{
+			Scheme:     opt.Scheme,
+			DiskBytes:  6 << 20,
+			NInodes:    1024,
+			CacheBytes: 2 << 20,
+		},
+		Nodes: opt.Nodes,
+		Seed:  opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Shutdown()
+
+	recs := make([]*crashmc.Recorder, opt.Nodes)
+	for id := 1; id <= opt.Nodes; id++ {
+		st := sys.Cluster.Node(id).St
+		recs[id-1] = crashmc.Attach(st.Driver, st.Disk)
+	}
+
+	res := &DistCrashCheckResult{}
+	res.Load = sys.Cluster.Load(dmeta.LoadSpec{Clients: opt.Clients, Ops: opt.Ops, Seed: opt.Seed})
+
+	// The churn phase replays the paper's create/remove workload through
+	// the router: a sync between the phases makes the creates durable, so
+	// the removes' flush is pure remove-ordering traffic — dentry removal
+	// vs. inode-free reorderings, spread over the shards by allocation.
+	var werr error
+	var churnDir uint64
+	sys.Run(func(p *fsim.Proc) {
+		if churnDir, werr = sys.Cluster.Mkdir(p, dmeta.RootIno, "mc"); werr != nil {
+			return
+		}
+		for i := 0; i < opt.Churn; i++ {
+			if _, err := sys.Cluster.Create(p, churnDir, fmt.Sprintf("m%d", i)); err != nil {
+				werr = err
+				return
+			}
+		}
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	sys.SyncAll()
+	sys.Run(func(p *fsim.Proc) {
+		for i := 0; i < opt.Churn; i++ {
+			if err := sys.Cluster.Unlink(p, churnDir, fmt.Sprintf("m%d", i)); err != nil {
+				werr = err
+				return
+			}
+		}
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	// Flush the delayed writes into the recorded timelines (the sweep still
+	// explores every pre-flush crash instant) and take the quiescent cut.
+	sys.SyncAll()
+	imgs := sys.Crash(sys.Eng.Now())
+
+	var elapsed float64
+	for i, rec := range recs {
+		cfg := opt.MC
+		cfg.ExtraCheck = chainChecks(distShapeCheck, cfg.ExtraCheck)
+		nr := rec.Explore(cfg)
+		res.Nodes = append(res.Nodes, DistNodeCheck{Node: i + 1, Result: nr})
+		res.Checked += nr.Stats.Checked
+		res.Violating += nr.Stats.Violating
+		elapsed += nr.Stats.ElapsedSec
+	}
+	if elapsed > 0 {
+		res.CheckedPerSec = float64(res.Checked) / elapsed
+	}
+	crossScan(imgs, res)
+	return res, nil
+}
+
+// chainChecks composes two ExtraCheck oracles (b may be nil).
+func chainChecks(a, b func(fsck.Image) []string) func(fsck.Image) []string {
+	if b == nil {
+		return a
+	}
+	return func(img fsck.Image) []string {
+		return append(a(img), b(img)...)
+	}
+}
+
+// distShapeCheck verifies a node image against dmeta's local naming
+// discipline. Every local file is created by the node with a name drawn
+// from a fixed grammar, names never cross sector boundaries, and writes
+// are sector-atomic — so on ANY legal crash image every live entry still
+// matches the grammar. Entries may be missing (not yet durable) or stale
+// (durably removed later); the oracle never demands presence, only shape,
+// which is what keeps it sound across all orderings a scheme permits.
+func distShapeCheck(img fsck.Image) []string {
+	var bad []string
+	class := make(map[ffs.Ino]byte)
+	fsck.WalkTree(img, func(e fsck.WalkEntry) bool {
+		pc := byte('r')
+		if e.Depth > 0 {
+			pc = class[e.Parent]
+		}
+		switch pc {
+		case 'r':
+			switch {
+			case e.Name == "i" && e.Ftype == ffs.FtypeDir:
+				class[e.Ino] = 'i'
+			case e.Name == "d" && e.Ftype == ffs.FtypeDir:
+				class[e.Ino] = 'd'
+			default:
+				bad = append(bad, fmt.Sprintf("dist: unexpected root entry %q (ftype %d)", e.Name, e.Ftype))
+			}
+		case 'i':
+			if e.Ftype != ffs.FtypeFile || !validInoFileName(e.Name) {
+				bad = append(bad, fmt.Sprintf("dist: malformed inode-file entry %q (ftype %d)", e.Name, e.Ftype))
+			}
+		case 'd':
+			if e.Ftype != ffs.FtypeDir || !validParentDirName(e.Name) {
+				bad = append(bad, fmt.Sprintf("dist: malformed parent-dir entry %q (ftype %d)", e.Name, e.Ftype))
+			} else {
+				class[e.Ino] = 'p'
+			}
+		case 'p':
+			if e.Ftype != ffs.FtypeFile || !parseDentName(e.Name) {
+				bad = append(bad, fmt.Sprintf("dist: malformed dentry entry %q (ftype %d)", e.Name, e.Ftype))
+			}
+		default:
+			bad = append(bad, fmt.Sprintf("dist: entry %q below an unclassified directory", e.Name))
+		}
+		return true
+	})
+	return bad
+}
+
+// isHex reports whether s is a nonempty lowercase base-16 number
+// (strconv.FormatUint's output alphabet).
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func isDec(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// validInoFileName accepts x<hex> (an inode's backing file) and
+// x<hex>.l<n> (an extra-link marker, n >= 2).
+func validInoFileName(name string) bool {
+	if !strings.HasPrefix(name, "x") {
+		return false
+	}
+	rest := name[1:]
+	if i := strings.Index(rest, ".l"); i >= 0 {
+		n := rest[i+2:]
+		return isHex(rest[:i]) && isDec(n) && n != "0" && n != "1"
+	}
+	return isHex(rest)
+}
+
+func validParentDirName(name string) bool {
+	return strings.HasPrefix(name, "p") && isHex(name[1:])
+}
+
+// parseDentName accepts <name>=<hex>; the logical name part never
+// contains '=' (dmeta's routers only pass workload names through).
+func parseDentName(name string) bool {
+	i := strings.LastIndexByte(name, '=')
+	return i > 0 && isHex(name[i+1:]) && !strings.Contains(name[:i], "=")
+}
+
+// crossScan walks the actual crash-cut images as a union namespace:
+// which logical inodes have backing files, and which dentries reference
+// them. The counters feed the informational columns of the result — one
+// crash cut of a cluster mid-two-phase-update legitimately shows
+// cross-node imbalance, so these are observations, not verdicts.
+func crossScan(imgs [][]byte, res *DistCrashCheckResult) {
+	backed := make(map[uint64]int)
+	var refs []uint64
+	for _, img := range imgs {
+		class := make(map[ffs.Ino]byte)
+		fsck.WalkTree(fsck.Bytes(img), func(e fsck.WalkEntry) bool {
+			pc := byte('r')
+			if e.Depth > 0 {
+				pc = class[e.Parent]
+			}
+			switch pc {
+			case 'r':
+				if e.Ftype == ffs.FtypeDir && (e.Name == "i" || e.Name == "d") {
+					class[e.Ino] = e.Name[0]
+				}
+			case 'i':
+				// Only the plain x<hex> file (not .l<n> links) backs the id.
+				if rest, ok := strings.CutPrefix(e.Name, "x"); ok && isHex(rest) {
+					if id, ok := parseHex(rest); ok {
+						backed[id]++
+					}
+				}
+			case 'd':
+				if validParentDirName(e.Name) {
+					class[e.Ino] = 'p'
+				}
+			case 'p':
+				if i := strings.LastIndexByte(e.Name, '='); i > 0 {
+					if id, ok := parseHex(e.Name[i+1:]); ok {
+						refs = append(refs, id)
+					}
+				}
+			}
+			return true
+		})
+	}
+	res.BackedInodes = len(backed)
+	res.DentryRefs = len(refs)
+	for _, id := range refs {
+		if backed[id] == 0 {
+			res.CrossDangling++
+		}
+	}
+	for _, n := range backed {
+		if n > 1 {
+			res.CrossDoubleOwned++
+		}
+	}
+}
+
+func parseHex(s string) (uint64, bool) {
+	if !isHex(s) || len(s) > 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' {
+			v = v<<4 | uint64(c-'a'+10)
+		} else {
+			v = v<<4 | uint64(c-'0')
+		}
+	}
+	return v, true
+}
+
+// Fprint renders the result as a table on w (nil w: no output).
+func (r *DistCrashCheckResult) Fprint(w io.Writer) {
+	if w == nil {
+		return
+	}
+	t := &Table{
+		Title:   "Cluster crash-state model check (per-node exploration + union scan)",
+		Columns: []string{"node", "writes", "instants", "explored", "checked", "violating", "chk/s"},
+	}
+	for _, n := range r.Nodes {
+		st := n.Result.Stats
+		t.AddRow(fmt.Sprintf("%d", n.Node),
+			fmt.Sprintf("%d", st.Writes),
+			fmt.Sprintf("%d", st.Instants),
+			fmt.Sprintf("%d", st.Explored),
+			fmt.Sprintf("%d", st.Checked),
+			fmt.Sprintf("%d", st.Violating),
+			fmt.Sprintf("%.0f", st.CheckedPerSec))
+	}
+	t.AddRow("union", "-", "-", "-",
+		fmt.Sprintf("%d", r.Checked),
+		fmt.Sprintf("%d", r.Violating),
+		fmt.Sprintf("%.0f", r.CheckedPerSec))
+	t.Fprint(w)
+	fmt.Fprintf(w, "union scan: %d backed inodes, %d dentry refs, %d dangling, %d double-owned\n",
+		r.BackedInodes, r.DentryRefs, r.CrossDangling, r.CrossDoubleOwned)
+}

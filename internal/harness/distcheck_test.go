@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"io"
+	"testing"
+
+	"metaupdate/fsim"
+	"metaupdate/internal/crashmc"
+)
+
+// TestDistCrashCheck is the cluster-wide acceptance run: a 4-node
+// Conventional dmeta cluster under the mixed load (creates, lookups,
+// cross-partition renames, links, unlinks), power-failed and explored
+// node by node with the naming-discipline oracle stacked on fsck.
+func TestDistCrashCheck(t *testing.T) {
+	res, err := DistCrashCheck(DistCrashCheckOptions{
+		Scheme:  fsim.Conventional,
+		Nodes:   4,
+		Clients: 3,
+		Ops:     25,
+		Seed:    11,
+		MC:      crashmc.Config{Workers: 2, Budget: 1200, PerInstant: 96},
+	})
+	if err != nil {
+		t.Fatalf("DistCrashCheck: %v", err)
+	}
+	if len(res.Nodes) != 4 {
+		t.Fatalf("explored %d nodes, want 4", len(res.Nodes))
+	}
+	for _, n := range res.Nodes {
+		if n.Result.Stats.Explored < 1 {
+			t.Errorf("node %d explored no crash states", n.Node)
+		}
+	}
+	if res.Checked < 100 {
+		t.Errorf("union checked %d images, want a real sweep (>= 100)", res.Checked)
+	}
+	if !res.Clean() {
+		for _, n := range res.Nodes {
+			for _, v := range n.Result.Violations {
+				t.Logf("node %d seq %d: %v", n.Node, v.Seq, v.Findings)
+			}
+		}
+		t.Errorf("conventional cluster should be crash-clean, got %d violating images", res.Violating)
+	}
+
+	// The union scan sees the load's logical objects and, because every
+	// dmeta operation orders inode-backing writes before the dentries
+	// that reference them (and dentry removal before the backing free),
+	// the crash cut of a Conventional cluster never shows a dangling
+	// cross-node reference. No splits are configured, so no inode can be
+	// caught mid-migration either.
+	if res.BackedInodes == 0 || res.DentryRefs == 0 {
+		t.Errorf("union scan found %d backed inodes / %d dentry refs, want both > 0",
+			res.BackedInodes, res.DentryRefs)
+	}
+	if res.CrossDangling != 0 {
+		t.Errorf("union scan found %d dangling cross-node references, want 0", res.CrossDangling)
+	}
+	if res.CrossDoubleOwned != 0 {
+		t.Errorf("union scan found %d double-owned inodes without migrations, want 0", res.CrossDoubleOwned)
+	}
+	res.Fprint(io.Discard)
+}
+
+// TestDistCrashCheckNoOrderViolates plants no bug — NoOrder's delayed
+// writes violate on their own, and the per-node exploration must see it.
+func TestDistCrashCheckNoOrderViolates(t *testing.T) {
+	res, err := DistCrashCheck(DistCrashCheckOptions{
+		Scheme:  fsim.NoOrder,
+		Nodes:   2,
+		Clients: 2,
+		Ops:     30,
+		Seed:    7,
+		MC:      crashmc.Config{Workers: 2, Budget: 2000, PerInstant: 128},
+	})
+	if err != nil {
+		t.Fatalf("DistCrashCheck: %v", err)
+	}
+	if res.Clean() {
+		t.Errorf("noorder cluster explored %d images without a violation", res.Checked)
+	}
+}
