@@ -63,6 +63,7 @@ func main() {
 	dist := flag.Bool("dist", false,
 		"check a power-failed sharded dmeta cluster instead of one file system")
 	distNodes := flag.Int("dist-nodes", 4, "cluster shard count for -dist")
+	engineWorkers := flag.Int("engine-workers", 0, "with -dist: parallel event-engine workers building the crashed cluster (0/1: serial; images are byte-identical at any count)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	flag.Parse()
 
@@ -86,7 +87,7 @@ func main() {
 	}
 
 	if *dist {
-		os.Exit(runDist(list, mc, *distNodes, *jsonOut))
+		os.Exit(runDist(list, mc, *distNodes, *engineWorkers, *jsonOut))
 	}
 
 	opt := harness.CrashCheckOptions{
@@ -161,7 +162,7 @@ func main() {
 // oracle, and the crash-cut images get a cross-node reference scan. The
 // verdict rule matches the single-machine matrix — ordering schemes must
 // come up clean, noorder must not.
-func runDist(list []fsim.Scheme, mc crashmc.Config, nodes int, jsonOut bool) int {
+func runDist(list []fsim.Scheme, mc crashmc.Config, nodes, engineWorkers int, jsonOut bool) int {
 	type row struct {
 		Scheme string                        `json:"scheme"`
 		Error  string                        `json:"error,omitempty"`
@@ -171,9 +172,10 @@ func runDist(list []fsim.Scheme, mc crashmc.Config, nodes int, jsonOut bool) int
 	bad := false
 	for _, s := range list {
 		res, err := harness.DistCrashCheck(harness.DistCrashCheckOptions{
-			Scheme: s,
-			Nodes:  nodes,
-			MC:     mc,
+			Scheme:        s,
+			Nodes:         nodes,
+			MC:            mc,
+			EngineWorkers: engineWorkers,
 		})
 		jr := row{Scheme: s.String(), Result: res}
 		if err != nil {

@@ -42,6 +42,7 @@ func main() {
 	faults := flag.Bool("faults", false, "run the fault-injection recovery sweep (per-scheme crash recovery on a faulty disk)")
 	opstats := flag.Bool("opstats", false, "run the per-scheme operation profile (virtual-time latency/stage breakdown per op type)")
 	dist := flag.Bool("dist", false, "run the sharded metadata service sweep (per-scheme clusters at 1/4/16 nodes with dynamic splitting)")
+	engineWorkers := flag.Int("engine-workers", 0, "with -dist: run each cluster cell on this many parallel event-engine workers (0/1: serial; output is byte-identical at any count)")
 	opTrace := flag.String("optrace", "", "run the 4-user copy under -optrace-scheme and write a Chrome trace-event JSON of the operation spans to this file")
 	opTraceScheme := flag.String("optrace-scheme", "softupdates", "scheme for -optrace (conventional|flag|chains|softupdates|noorder|nvram)")
 	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram)")
@@ -127,6 +128,7 @@ func main() {
 		cfg := harness.DefaultConfig(os.Stdout)
 		cfg.Scale = harness.Scale(*scale)
 		cfg.Runner = runner
+		cfg.EngineWorkers = *engineWorkers
 		for _, t := range harness.DistExhibit.Tables(cfg) {
 			t.Fprint(os.Stdout)
 		}

@@ -1,0 +1,61 @@
+package fsim
+
+import (
+	"testing"
+	"time"
+
+	"metaupdate/internal/dmeta"
+)
+
+// BenchmarkDistCluster runs the 16-node sharded-metadata cell — the
+// cluster-scale sweep unit the PDES engine exists for — serial and on a
+// parallel LP group, and reports wall-clock events per second over the
+// load phase (setup excluded). The parallel/serial ratio is what
+// BENCH_4.json records and the CI bench gate watches on multi-core
+// runners; on a single-core machine the ratio instead measures the
+// synchronization overhead (it should stay near 1x).
+func BenchmarkDistCluster(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0},
+		{"parallel2", 2},
+		{"parallel8", 8},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var events uint64
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := NewDist(DistOptions{
+					Base:  Options{Scheme: SoftUpdates},
+					Nodes: 16, Seed: 99,
+					EngineWorkers: mode.workers,
+				})
+				if err != nil {
+					b.Fatalf("NewDist: %v", err)
+				}
+				executed := func() uint64 {
+					if s.Group != nil {
+						return s.Group.Executed()
+					}
+					return s.Eng.Executed()
+				}
+				e0 := executed()
+				b.StartTimer()
+				t0 := time.Now()
+				s.Cluster.Load(dmeta.LoadSpec{Clients: 16, Ops: 150, Seed: 99})
+				s.SyncAll()
+				elapsed += time.Since(t0)
+				b.StopTimer()
+				events += executed() - e0
+				s.Shutdown()
+				b.StartTimer()
+			}
+			if elapsed > 0 {
+				b.ReportMetric(float64(events)/elapsed.Seconds(), "events/s")
+			}
+		})
+	}
+}

@@ -1,9 +1,9 @@
 // Package dmeta is the sharded distributed metadata service: N simulated
-// metadata nodes on one sim.Engine, each a full single-machine stack
-// (disk/driver/cache/ffs under a configurable ordering scheme) owning an
-// inode-id-range partition with its own in-memory inode and dentry
-// trees, connected by internal/simnet and driven through a client-side
-// router that maps each operation to the owning node.
+// metadata nodes, each a full single-machine stack (disk/driver/cache/ffs
+// under a configurable ordering scheme) owning an inode-id-range
+// partition with its own in-memory inode and dentry trees, connected by
+// internal/simnet and driven through a client-side router that maps each
+// operation to the owning node.
 //
 // The design transplants the paper's question into the sharded regime.
 // Each logical metadata object is backed by local durable state on its
@@ -23,13 +23,25 @@
 //
 // Partitions split dynamically, CubeFS-metanode style: when a node's
 // tree size or inbox depth crosses the configured threshold, it claims a
-// spare node, streams the upper half of its key range over the simulated
-// network, deletes the moved state locally (copy-before-delete — the
-// migration itself obeys the no-dangling-pointer rule), and publishes
-// the narrowed range to the router. Every routing and split decision
+// spare node from the router (a kClaimSpare RPC), streams the upper half
+// of its key range over the simulated network, deletes the moved state
+// locally (copy-before-delete — the migration itself obeys the
+// no-dangling-pointer rule), narrows its own owned range, and announces
+// the split to the router (kSplitDone), which republishes the partition
+// map. Requests caught in flight against the old map chase the keys
+// through per-node forwarding tables. Every routing and split decision
 // draws from a splitmix64 stream keyed by (seed, nodeID) — the
 // internal/fault idiom — so the whole message timeline is a pure
 // function of the options and the cells memoize byte-identically.
+//
+// Execution model: the cluster runs on a sim.Exec — either one serial
+// Engine or a sim.LPGroup with one LP per node plus LP 0 for the
+// client/router. All router state (partition map, allocation cursors,
+// spare pool, split/op counters) lives on LP 0 and is touched only by
+// client procs and the router proc; all node state is touched only by
+// that node's LP. Every cross-LP interaction is a simnet message, so the
+// same protocol runs serially or in parallel with a byte-identical
+// message timeline.
 package dmeta
 
 import (
@@ -81,11 +93,15 @@ type Config struct {
 	// SplitQueue triggers a split when a node's inbox depth exceeds it;
 	// 0 disables the queue trigger.
 	SplitQueue int
-	// Build assembles node id's storage stack (called once per node,
-	// spares included, from inside the init proc).
+	// Build assembles node id's storage stack. It is called once per
+	// node, spares included, from a proc on the node's own LP — with a
+	// parallel exec the Build calls run concurrently, so the closure
+	// must not touch shared mutable state.
 	Build func(p *sim.Proc, id int) (*Stack, error)
 	// Obs, when non-nil, records spans for router-level operations and
-	// the nodes' local file system operations.
+	// the nodes' local file system operations. A recorder is
+	// single-engine state: it must be nil when the cluster runs on a
+	// parallel exec (fsim enforces this).
 	Obs *obs.Recorder
 }
 
@@ -111,9 +127,10 @@ type PartInfo struct {
 
 // Cluster is the distributed metadata service: the node set, the
 // client-side router state (partition map + allocation cursors), and the
-// cross-partition statistics the experiments report.
+// cross-partition statistics the experiments report. All Cluster fields
+// are LP 0 state.
 type Cluster struct {
-	eng      *sim.Engine
+	exec     sim.Exec
 	net      *simnet.Network
 	cfg      Config
 	obs      *obs.Recorder
@@ -124,8 +141,8 @@ type Cluster struct {
 	rng      uint64 // router decision stream, keyed (Seed, node 0)
 
 	// Counters and latency digests for the exhibit tables.
-	Ops, Errs, CrossOps, Forwards, Splits, Migrated int64
-	OpLat, CrossLat                                 trace.Digest
+	Ops, Errs, CrossOps, Splits, Migrated int64
+	OpLat, CrossLat                       trace.Digest
 
 	crashed bool // set by Crash: the cluster is dead, Shutdown is a no-op
 
@@ -151,10 +168,12 @@ func rngFor(seed int64, id int) uint64 {
 	return (uint64(seed)^(uint64(id)*0x9E3779B97F4A7C15))*0x9E3779B97F4A7C15 + 0x1234567
 }
 
-// New assembles a cluster on net's engine. It must be called from inside
-// a running proc (stack mounts replay the superblock read); server loops
-// are spawned for every node, spares included, before it returns.
-func New(p *sim.Proc, net *simnet.Network, cfg Config) (*Cluster, error) {
+// New assembles a cluster on exec — net's host, either a serial Engine
+// or an LPGroup with endpoint i's LP hosting node i. Each node's stack
+// is built and initialized by a proc on its own LP (concurrently under
+// a parallel exec), the group clocks are aligned to a common epoch, and
+// the server and router loops are spawned before New returns.
+func New(exec sim.Exec, net *simnet.Network, cfg Config) (*Cluster, error) {
 	if cfg.Nodes < 1 {
 		return nil, fmt.Errorf("dmeta: need at least one node")
 	}
@@ -165,7 +184,7 @@ func New(p *sim.Proc, net *simnet.Network, cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("dmeta: Config.Build is required")
 	}
 	c := &Cluster{
-		eng:      p.Engine(),
+		exec:     exec,
 		net:      net,
 		cfg:      cfg,
 		obs:      cfg.Obs,
@@ -175,20 +194,12 @@ func New(p *sim.Proc, net *simnet.Network, cfg Config) (*Cluster, error) {
 	}
 	c.OpLat.SetCap(latCap)
 	c.CrossLat.SetCap(latCap)
-	for id := 1; id <= cfg.MaxNodes; id++ {
-		st, err := cfg.Build(p, id)
-		if err != nil {
-			return nil, fmt.Errorf("dmeta: build node %d: %w", id, err)
-		}
-		n, err := newNode(c, id, st, p)
-		if err != nil {
-			return nil, fmt.Errorf("dmeta: init node %d: %w", id, err)
-		}
-		c.nodes = append(c.nodes, n)
-	}
+
 	// Stripe the id space over the initial nodes; node 1's partition
-	// holds the root and starts allocating above it.
+	// holds the root and starts allocating above it. Spares own the
+	// empty range until a split hands them one.
 	stride := (inoSpace - 1) / uint64(cfg.Nodes)
+	ranges := make([][2]uint64, cfg.MaxNodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		start := 1 + uint64(i)*stride
 		end := start + stride
@@ -199,20 +210,84 @@ func New(p *sim.Proc, net *simnet.Network, cfg Config) (*Cluster, error) {
 		if i == 0 {
 			next = RootIno + 1
 		}
+		ranges[i] = [2]uint64{start, end}
 		c.parts = append(c.parts, part{start: start, end: end, node: i + 1, next: next})
 	}
-	if err := c.nodes[0].installRoot(p); err != nil {
-		return nil, fmt.Errorf("dmeta: install root: %w", err)
+
+	// Build and initialize every node on its own LP. The endpoint table
+	// is populated here, single-threaded, before any proc runs; the init
+	// procs touch only their node's state (plus their own slot of nodes/
+	// errs — disjoint elements), so the windows may run concurrently.
+	c.nodes = make([]*Node, cfg.MaxNodes)
+	errs := make([]error, cfg.MaxNodes)
+	for id := 1; id <= cfg.MaxNodes; id++ {
+		id := id
+		ep := net.Endpoint(id)
+		ep.Host().Spawn(fmt.Sprintf("init%d", id), func(p *sim.Proc) {
+			st, err := cfg.Build(p, id)
+			if err != nil {
+				errs[id-1] = fmt.Errorf("dmeta: build node %d: %w", id, err)
+				return
+			}
+			n, err := newNode(c, id, st, ep, p, ranges[id-1][0], ranges[id-1][1])
+			if err != nil {
+				errs[id-1] = fmt.Errorf("dmeta: init node %d: %w", id, err)
+				return
+			}
+			if id == 1 {
+				if err := n.installRoot(p); err != nil {
+					errs[id-1] = fmt.Errorf("dmeta: install root: %w", err)
+					return
+				}
+			}
+			c.nodes[id-1] = n
+		})
 	}
+	exec.Run()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Bring every LP to the same epoch, so server start times (and
+	// everything after) match the serial engine's single clock.
+	if g, ok := exec.(*sim.LPGroup); ok {
+		g.Align()
+	}
+
 	for _, n := range c.nodes {
 		n := n
-		c.eng.Spawn(fmt.Sprintf("mds%d", n.id), n.serve)
+		n.ep.Host().Spawn(fmt.Sprintf("mds%d", n.id), n.serve)
 	}
+	exec.Spawn("router", c.router)
 	return c, nil
 }
 
-// Engine returns the shared engine.
-func (c *Cluster) Engine() *sim.Engine { return c.eng }
+// router serves the cluster-control requests nodes address to endpoint 0
+// (replies to client Calls never surface here — they are demultiplexed
+// by request id). It owns the spare pool and the partition map, so
+// claim and publish decisions are serialized in message-delivery order
+// no matter which LPs the nodes run on.
+func (c *Cluster) router(p *sim.Proc) {
+	for {
+		m, ok := c.clientEp.Recv(p)
+		if !ok {
+			return
+		}
+		r := m.Payload.(req)
+		switch r.Kind {
+		case kClaimSpare:
+			c.clientEp.Reply(m, respSize, resp{Target: uint64(c.activateSpare())})
+		case kSplitDone:
+			c.finishSplit(m.From, int(r.Target), r.Ino, r.Moved)
+		default:
+			panic(fmt.Sprintf("dmeta: router got request kind %d from node %d", r.Kind, m.From))
+		}
+	}
+}
+
+// Exec returns the execution host the cluster runs on.
+func (c *Cluster) Exec() sim.Exec { return c.exec }
 
 // Net returns the cluster's network.
 func (c *Cluster) Net() *simnet.Network { return c.net }
@@ -223,6 +298,17 @@ func (c *Cluster) ActiveNodes() int { return c.active }
 // Node returns node id's handle (1-based, spares included).
 func (c *Cluster) Node(id int) *Node { return c.nodes[id-1] }
 
+// Forwards sums the nodes' forwarded-request counters. The counters are
+// per-node LP state: read only when the exec is idle (after SyncAll or
+// Shutdown).
+func (c *Cluster) Forwards() int64 {
+	var n int64
+	for _, nd := range c.nodes {
+		n += nd.forwards
+	}
+	return n
+}
+
 // Parts returns a copy of the partition map in key order.
 func (c *Cluster) Parts() []PartInfo {
 	out := make([]PartInfo, len(c.parts))
@@ -232,8 +318,9 @@ func (c *Cluster) Parts() []PartInfo {
 	return out
 }
 
-// ownerOf returns the node id owning key. The map is tiny (≤ MaxNodes
-// entries) so a linear scan is fine and trivially deterministic.
+// ownerOf returns the node id owning key under the router's (possibly
+// momentarily stale) map. The map is tiny (≤ MaxNodes entries) so a
+// linear scan is fine and trivially deterministic.
 func (c *Cluster) ownerOf(key uint64) int {
 	for i := range c.parts {
 		if key >= c.parts[i].start && key < c.parts[i].end {
@@ -475,39 +562,47 @@ func (c *Cluster) Rename(p *sim.Proc, sparent uint64, sname string, dparent uint
 }
 
 // SyncAll flushes every node's file system (delayed writes included) and
-// returns when the cluster is quiescent.
+// returns when the cluster is quiescent. The flushes run as one kSync
+// RPC per node, issued concurrently — on a parallel exec the nodes
+// flush their disks simultaneously.
 func (c *Cluster) SyncAll() {
-	done := false
-	c.eng.Spawn("dist-sync", func(p *sim.Proc) {
-		for _, n := range c.nodes {
-			n.St.FS.Sync(p)
-		}
-		done = true
-	})
-	c.eng.RunWhile(func() bool { return !done })
+	remaining := len(c.nodes)
+	for _, n := range c.nodes {
+		id := n.id
+		c.exec.Spawn(fmt.Sprintf("sync%d", id), func(p *sim.Proc) {
+			c.clientEp.Call(p, id, reqSize(req{Kind: kSync}), req{Kind: kSync})
+			remaining--
+		})
+	}
+	c.exec.RunWhile(func() bool { return remaining > 0 })
 }
 
-// Shutdown stops the node syncers, closes every endpoint so the server
-// loops exit, and drains the engine. After Crash the machines are dead
-// and the engine is frozen, so there is nothing left to wind down.
+// Shutdown stops every node (syncer halted, endpoint closed) via
+// kShutdown RPCs, closes the client endpoint so the router exits, and
+// drains the exec. After Crash the machines are dead and the clocks are
+// frozen, so there is nothing left to wind down.
 func (c *Cluster) Shutdown() {
 	if c.crashed {
 		return
 	}
+	remaining := len(c.nodes)
 	for _, n := range c.nodes {
-		n.St.Cache.StopSyncer()
+		id := n.id
+		c.exec.Spawn(fmt.Sprintf("stop%d", id), func(p *sim.Proc) {
+			c.clientEp.Call(p, id, reqSize(req{Kind: kShutdown}), req{Kind: kShutdown})
+			remaining--
+		})
 	}
+	c.exec.RunWhile(func() bool { return remaining > 0 })
 	c.clientEp.Close()
-	for _, n := range c.nodes {
-		n.ep.Close()
-	}
-	c.eng.Run()
+	c.exec.Run()
 }
 
 // Crash snapshots every node's media as of a simultaneous power failure
-// at time t (the engine must already have run up to t): in-flight disk
-// state is resolved by each node's driver crash model, and the returned
-// images are independent copies.
+// at time t (the exec must already have run up to t, and — parallel —
+// no LP clock may be past it: fsim checks NowMax): in-flight disk state
+// is resolved by each node's driver crash model, and the returned images
+// are independent copies.
 func (c *Cluster) Crash(t sim.Time) [][]byte {
 	c.crashed = true
 	imgs := make([][]byte, len(c.nodes))

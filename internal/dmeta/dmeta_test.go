@@ -407,8 +407,8 @@ func TestLoadDeterminism(t *testing.T) {
 			fmt.Fprintf(&sb, "%d/%s=%d@%d\n", d.parent, d.name, d.target, d.node)
 		}
 		fmt.Fprintf(&sb, "splits%d fwd%d cross%d mig%d\n",
-			s.Cluster.Splits, s.Cluster.Forwards, s.Cluster.CrossOps, s.Cluster.Migrated)
-		return res, sb.String(), s.Eng.Now(), s.Net.Sent
+			s.Cluster.Splits, s.Cluster.Forwards(), s.Cluster.CrossOps, s.Cluster.Migrated)
+		return res, sb.String(), s.Eng.Now(), s.Net.Totals().Sent
 	}
 	r1, u1, t1, m1 := run()
 	r2, u2, t2, m2 := run()

@@ -22,11 +22,22 @@ const (
 	kIncLink
 	kDecLink
 	kMigrate
+
+	// Cluster-control requests. kClaimSpare and kSplitDone go node →
+	// router (endpoint 0); kSync and kShutdown go host → node. None is
+	// routed by partition key.
+	kClaimSpare
+	kSplitDone
+	kSync
+	kShutdown
 )
 
 // req is one node request. Routing key: Parent for dentry-tree ops, Ino
-// for inode-tree ops; kMigrate is addressed explicitly and never
-// forwarded.
+// for inode-tree ops; everything else is addressed explicitly and never
+// forwarded. Field reuse for control requests: kMigrate carries the
+// migrated range as [Ino, Target) and marks its last batch Final;
+// kSplitDone carries the split key in Ino, the new owner in Target and
+// the migrated entry count in Moved.
 type req struct {
 	Kind     kind
 	Ino      uint64
@@ -36,6 +47,8 @@ type req struct {
 	Dir      bool
 	Replace  bool
 	MustFile bool
+	Final    bool
+	Moved    int
 	Ents     []migEnt
 }
 
@@ -118,9 +131,19 @@ type inodeMeta struct {
 	dir   bool
 }
 
+// fwdRange is one forwarding-table entry: keys in [start, end) were
+// handed to dst by a past split of this node.
+type fwdRange struct {
+	start, end uint64
+	dst        int
+}
+
 // Node is one metadata server: a local storage stack, the owned slices
 // of the inode and dentry trees, and the mapping of logical objects to
-// local backing files.
+// local backing files. All Node state is owned by the node's LP — a
+// node never reads router state; its view of the partition map is its
+// own range [start, end) plus the forwarding table of ranges it gave
+// away, kept accurate by the split protocol itself.
 type Node struct {
 	c  *Cluster
 	id int
@@ -129,6 +152,13 @@ type Node struct {
 
 	// rng is this node's decision stream, keyed (Seed, id).
 	rng uint64
+
+	// start/end is the owned key range; fwd records where previously
+	// owned ranges went (requests chase moved keys through chains of
+	// such tables until they reach the current owner).
+	start, end uint64
+	fwd        []fwdRange
+	forwards   int64
 
 	inodeTree  map[uint64]*inodeMeta
 	dentryTree map[uint64]map[string]uint64
@@ -142,6 +172,8 @@ type Node struct {
 	dDir     ffs.Ino
 
 	splitting bool
+	receiving bool // mid-migration destination: owned range still filling
+	noSpares  bool // the router reported spare exhaustion; stop asking
 	Processed int64
 }
 
@@ -157,11 +189,13 @@ func dentName(name string, target uint64) string {
 
 func parentDirName(parent uint64) string { return "p" + strconv.FormatUint(parent, 16) }
 
-func newNode(c *Cluster, id int, st *Stack, p *sim.Proc) (*Node, error) {
+func newNode(c *Cluster, id int, st *Stack, ep *simnet.Endpoint, p *sim.Proc, start, end uint64) (*Node, error) {
 	n := &Node{
 		c: c, id: id, St: st,
-		ep:         c.net.Endpoint(id),
+		ep:         ep,
 		rng:        rngFor(c.cfg.Seed, id),
+		start:      start,
+		end:        end,
 		inodeTree:  make(map[uint64]*inodeMeta),
 		dentryTree: make(map[uint64]map[string]uint64),
 		localIno:   make(map[uint64]ffs.Ino),
@@ -191,7 +225,7 @@ func (n *Node) installRoot(p *sim.Proc) error {
 // entries is the split-policy size signal.
 func (n *Node) entries() int { return len(n.inodeTree) + n.nden }
 
-func (n *Node) owns(key uint64) bool { return n.c.ownerOf(key) == n.id }
+func (n *Node) owns(key uint64) bool { return key >= n.start && key < n.end }
 
 // serve is the node's server loop: drain the inbox in delivery order,
 // checking the split policy after every request.
@@ -210,14 +244,37 @@ func (n *Node) handle(p *sim.Proc, m simnet.Message) {
 	r := m.Payload.(req)
 	if key, routed := r.routingKey(); routed && !n.owns(key) {
 		// The partition moved while this request was in flight (or
-		// queued behind a split): pass it to the current owner; the
-		// reply goes straight back to the client.
-		n.c.Forwards++
-		n.ep.Forward(m, n.c.ownerOf(key))
+		// queued behind a split): pass it to where the key went; the
+		// reply goes straight back to the client. The key may have moved
+		// again since — the forwarding tables chain.
+		n.forward(m, key)
+		return
+	}
+	switch r.Kind {
+	case kSync:
+		n.St.FS.Sync(p)
+		n.ep.Reply(m, respSize, resp{})
+		return
+	case kShutdown:
+		n.St.Cache.StopSyncer()
+		n.ep.Reply(m, respSize, resp{})
+		n.ep.Close()
 		return
 	}
 	n.Processed++
 	n.ep.Reply(m, respSize, n.apply(p, r))
+}
+
+// forward relays a request for a key this node gave away in a split.
+func (n *Node) forward(m simnet.Message, key uint64) {
+	n.forwards++
+	for _, f := range n.fwd {
+		if key >= f.start && key < f.end {
+			n.ep.Forward(m, f.dst)
+			return
+		}
+	}
+	panic(fmt.Sprintf("dmeta: node %d got request for key %d outside its range [%d,%d) and forwarding table", n.id, key, n.start, n.end))
 }
 
 // apply executes one owned request against the trees and the local
@@ -316,6 +373,14 @@ func (n *Node) apply(p *sim.Proc, r req) resp {
 		return resp{}
 
 	case kMigrate:
+		// First batch of an incoming split: adopt the migrated range
+		// (spares own the empty range until here). Splitting is deferred
+		// until the final batch has landed, so the range never narrows
+		// while it is still filling.
+		if n.start == n.end {
+			n.start, n.end = r.Ino, r.Target
+		}
+		n.receiving = !r.Final
 		for _, e := range r.Ents {
 			n.install(p, e)
 		}
@@ -379,13 +444,13 @@ func (n *Node) install(p *sim.Proc, e migEnt) {
 }
 
 // maybeSplit runs the split policy: when the tree size or inbox depth
-// crosses its threshold and a spare is available, migrate the upper part
-// of the owned key range to a new node. The whole migration runs on the
-// server proc — incoming requests queue behind it and any that targeted
-// moved keys get forwarded once the new map is published.
+// crosses its threshold, claim a spare from the router and migrate the
+// upper part of the owned key range to it. The whole migration runs on
+// the server proc — incoming requests queue behind it and any that
+// targeted moved keys get forwarded once the local range narrows.
 func (n *Node) maybeSplit(p *sim.Proc) {
 	c := n.c
-	if n.splitting {
+	if n.splitting || n.receiving || n.noSpares {
 		return
 	}
 	sizeTrip := c.cfg.SplitEntries > 0 && n.entries() > c.cfg.SplitEntries
@@ -414,12 +479,16 @@ func (n *Node) maybeSplit(p *sim.Proc) {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 
-	dst := c.activateSpare()
-	if dst == 0 {
-		return
-	}
+	// Claim a spare. The server proc blocks on the round trip, so the
+	// trees cannot change under the collected key set.
 	n.splitting = true
 	defer func() { n.splitting = false }()
+	rc := n.ep.Call(p, 0, reqSize(req{Kind: kClaimSpare}), req{Kind: kClaimSpare})
+	dst := int(rc.Payload.(resp).Target)
+	if dst == 0 {
+		n.noSpares = true
+		return
+	}
 
 	// Split point: the median key, nudged within the middle third by this
 	// node's decision stream (keyed seed+nodeID, so the choice is a pure
@@ -435,6 +504,7 @@ func (n *Node) maybeSplit(p *sim.Proc) {
 		mid = len(keys) - 1
 	}
 	m := keys[mid]
+	oldEnd := n.end
 
 	// Copy phase: stream [m, end) to the spare in seeded batches.
 	ents := make([]migEnt, 0, len(keys)-mid)
@@ -461,7 +531,8 @@ func (n *Node) maybeSplit(p *sim.Proc) {
 			bs = len(ents) - i
 		}
 		batch := ents[i : i+bs]
-		n.ep.Call(p, dst, reqSize(req{Kind: kMigrate, Ents: batch}), req{Kind: kMigrate, Ents: batch})
+		r := req{Kind: kMigrate, Ino: m, Target: oldEnd, Final: i+bs == len(ents), Ents: batch}
+		n.ep.Call(p, dst, reqSize(r), r)
 		i += bs
 	}
 
@@ -489,6 +560,10 @@ func (n *Node) maybeSplit(p *sim.Proc) {
 		}
 	}
 
-	// Publish the narrowed range; requests for moved keys now forward.
-	c.finishSplit(n.id, dst, m, len(ents))
+	// Narrow the owned range — forwarding starts now — and announce the
+	// split to the router, which republishes the partition map.
+	n.end = m
+	n.fwd = append(n.fwd, fwdRange{start: m, end: oldEnd, dst: dst})
+	done := req{Kind: kSplitDone, Ino: m, Target: uint64(dst), Moved: len(ents)}
+	n.ep.Send(0, reqSize(done), done)
 }

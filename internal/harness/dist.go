@@ -22,6 +22,10 @@ type DistSpec struct {
 	SplitEntries, SplitQueue int
 	// Seed keys every decision stream (routing, split points, workload).
 	Seed int64
+	// EngineWorkers selects the parallel PDES engine (> 1) or the serial
+	// one (0/1). Results are byte-identical either way; the field is in
+	// the fingerprint so benchmark sweeps memoize the modes separately.
+	EngineWorkers int
 }
 
 // DistResult is what one CellDist run measures: cluster growth, load
@@ -45,32 +49,37 @@ type DistResult struct {
 // the options + spec, like every cell kind).
 func distRun(opt fsim.Options, spec DistSpec) DistResult {
 	s, err := fsim.NewDist(fsim.DistOptions{
-		Base:         opt,
-		Nodes:        spec.Nodes,
-		Seed:         spec.Seed,
-		SplitEntries: spec.SplitEntries,
-		SplitQueue:   spec.SplitQueue,
+		Base:          opt,
+		Nodes:         spec.Nodes,
+		Seed:          spec.Seed,
+		SplitEntries:  spec.SplitEntries,
+		SplitQueue:    spec.SplitQueue,
+		EngineWorkers: spec.EngineWorkers,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("harness: dist: %v", err))
 	}
-	defer s.Shutdown()
 	res := s.Cluster.Load(dmeta.LoadSpec{Clients: spec.Clients, Ops: spec.Ops, Seed: spec.Seed})
 	s.SyncAll()
+	// Shut down before reading the per-node/per-endpoint counters
+	// (forwards, network traffic): they live on their host LPs and are
+	// only coherent once the exec has drained.
+	s.Shutdown()
 	c := s.Cluster
+	tot := s.Net.Totals()
 	return DistResult{
 		FinalNodes: c.ActiveNodes(),
 		Wall:       res.Wall,
 		Ops:        res.Ops,
 		Errs:       res.Errs,
 		CrossOps:   c.CrossOps,
-		Forwards:   c.Forwards,
+		Forwards:   c.Forwards(),
 		Splits:     c.Splits,
 		Migrated:   c.Migrated,
 		Lat:        c.OpLat.Dist(),
 		CrossLat:   c.CrossLat.Dist(),
-		NetMsgs:    s.Net.Sent,
-		NetBytes:   s.Net.Bytes,
+		NetMsgs:    tot.Sent,
+		NetBytes:   tot.Bytes,
 	}
 }
 
@@ -107,11 +116,12 @@ func buildDist(cfg Config, get func(Cell) CellResult) []Table {
 		}
 		for _, v := range fiveSchemes(nil) {
 			d := get(Cell{Kind: CellDist, Opt: v.opt, Dist: DistSpec{
-				Nodes:        nodes,
-				Clients:      clients,
-				Ops:          ops,
-				SplitEntries: splitEntries,
-				Seed:         42,
+				Nodes:         nodes,
+				Clients:       clients,
+				Ops:           ops,
+				SplitEntries:  splitEntries,
+				Seed:          42,
+				EngineWorkers: cfg.EngineWorkers,
 			}}).Dist
 			opsPerSec := "-"
 			if d.Wall > 0 {

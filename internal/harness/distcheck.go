@@ -35,6 +35,10 @@ type DistCrashCheckOptions struct {
 	// defaults. The per-node budget is MC.Budget (not divided), so a
 	// 4-node run checks up to 4x MC.Budget states.
 	MC crashmc.Config
+	// EngineWorkers selects the parallel PDES engine (> 1) or the
+	// serial one (0/1); the crash cut and every explored image are
+	// byte-identical either way.
+	EngineWorkers int
 }
 
 func (o *DistCrashCheckOptions) setDefaults() {
@@ -102,8 +106,9 @@ func DistCrashCheck(opt DistCrashCheckOptions) (*DistCrashCheckResult, error) {
 			NInodes:    1024,
 			CacheBytes: 2 << 20,
 		},
-		Nodes: opt.Nodes,
-		Seed:  opt.Seed,
+		Nodes:         opt.Nodes,
+		Seed:          opt.Seed,
+		EngineWorkers: opt.EngineWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -153,8 +158,13 @@ func DistCrashCheck(opt DistCrashCheckOptions) (*DistCrashCheckResult, error) {
 	}
 	// Flush the delayed writes into the recorded timelines (the sweep still
 	// explores every pre-flush crash instant) and take the quiescent cut.
+	// The cut lands one network delay after LP 0's clock: under the
+	// parallel engine other LPs may sit up to one sync window (< one
+	// network delay) ahead, so this is the earliest cut that is provably
+	// identical at every worker count — and the cluster is quiescent, so
+	// nothing moves in the gap.
 	sys.SyncAll()
-	imgs := sys.Crash(sys.Eng.Now())
+	imgs := sys.Crash(sys.Eng.Now() + sys.Net.MinDelay())
 
 	var elapsed float64
 	for i, rec := range recs {

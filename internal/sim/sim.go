@@ -22,8 +22,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 )
 
 // Time is a virtual-time instant in nanoseconds since simulation start.
@@ -51,21 +53,42 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-// event is a queued occurrence. Exactly one of proc and fn is set: proc
-// wake-ups are the dominant case and carrying the pointer here is what lets
-// every wake site schedule without allocating a closure.
-type event struct {
-	at   Time
-	seq  uint64
-	proc *Proc  // if non-nil: resume this process
-	fn   func() // otherwise: run this callback in engine context
+// Delivery is a value-carrying event payload: the parallel-simulation
+// message path schedules deliveries without allocating a closure per
+// message (the payload object is pooled by its owner and carries its own
+// context). Deliver runs in engine context, exactly like an At callback.
+type Delivery interface {
+	Deliver()
 }
 
-// less orders events by (at, seq): virtual time first, schedule order as the
-// deterministic tie-break.
+// event is a queued occurrence. Exactly one of proc, fn and del is set:
+// proc wake-ups are the dominant case and carrying the pointer here is
+// what lets every wake site schedule without allocating a closure.
+type event struct {
+	at  Time
+	seq uint64
+	// pri is the cross-engine priority class. Ordinary events have pri 0;
+	// cross-LP message deliveries carry pri = (source LP, source sequence)
+	// packed into one word, so two engines that receive the same message
+	// set order them identically no matter which engine hosted the sender
+	// — the deterministic per-LP seq-tiebreak the PDES scheduler relies
+	// on. Within one instant all pri-0 events fire (in schedule order)
+	// before any delivery, and deliveries fire in pri order.
+	pri  uint64
+	proc *Proc    // if non-nil: resume this process
+	fn   func()   // else if non-nil: run this callback in engine context
+	del  Delivery // otherwise: deliver this message payload
+}
+
+// less orders events by (at, pri, seq): virtual time first, delivery
+// priority class second, schedule order as the final deterministic
+// tie-break.
 func (ev *event) less(o *event) bool {
 	if ev.at != o.at {
 		return ev.at < o.at
+	}
+	if ev.pri != o.pri {
+		return ev.pri < o.pri
 	}
 	return ev.seq < o.seq
 }
@@ -90,7 +113,24 @@ type Engine struct {
 	live     int  // live (spawned, not finished) processes
 	halted   bool // RunUntil hit its limit; scheduling now panics until the next run
 	procIDs  int  // per-engine Proc.ID source; engines must not share state
+	executed uint64
+
+	// heapLow / fastLow are the shrink-hysteresis counters: consecutive
+	// pops (drains) during which the backing array stayed under a quarter
+	// full. A burst grows the arrays; without this they would retain the
+	// peak capacity for the rest of a long run (DESIGN.md §14).
+	heapLow int
+	fastLow int
+
+	// Label, when set before Spawn, is attached to every process
+	// goroutine as the pprof label "lp" — CPU profiles of a parallel
+	// cluster run then attribute samples to their logical process.
+	Label string
 }
+
+// Executed reports the number of events dispatched since the engine was
+// created (the events-per-second numerator in BENCH_4.json).
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // Live reports the number of spawned processes that have not finished.
 func (e *Engine) Live() int { return e.live }
@@ -128,11 +168,13 @@ func (e *Engine) checkSchedulable(t Time) {
 }
 
 // push queues ev, routing same-instant events to the fast FIFO. The fast
-// queue preserves global (at, seq) order because all its entries share
-// at == now and are appended in seq order; pop compares its head against the
-// heap top before firing.
+// queue preserves global (at, pri, seq) order because all its entries share
+// at == now and pri == 0 and are appended in seq order; pop compares its
+// head against the heap top before firing. Prioritized deliveries always
+// take the heap: a later-scheduled pri-0 wake at the same instant must
+// still fire before them.
 func (e *Engine) push(ev event) {
-	if ev.at == e.now {
+	if ev.at == e.now && ev.pri == 0 {
 		e.fast = append(e.fast, ev)
 		return
 	}
@@ -145,6 +187,21 @@ func (e *Engine) At(t Time, fn func()) {
 	e.checkSchedulable(t)
 	e.seq++
 	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtPri schedules d's Deliver to run in engine context at time t, ordered
+// after every ordinary (pri-0) event at that instant and against other
+// deliveries by pri. This is the cross-LP message path: pri packs the
+// sending LP and its per-sender sequence number, so delivery order at an
+// instant is a pure function of the message set — identical whether the
+// messages crossed between engines or looped back on one.
+func (e *Engine) AtPri(t Time, pri uint64, d Delivery) {
+	if pri == 0 {
+		panic("sim: AtPri with zero priority (use At)")
+	}
+	e.checkSchedulable(t)
+	e.seq++
+	e.push(event{at: t, pri: pri, seq: e.seq, del: d})
 }
 
 // After schedules fn to run in engine context d from now.
@@ -207,7 +264,35 @@ func (e *Engine) heapPop() event {
 		h[i], h[min] = h[min], h[i]
 		i = min
 	}
+	e.maybeShrinkHeap()
 	return top
+}
+
+// shrinkMinCap is the smallest backing capacity the shrink hysteresis
+// considers releasing; below it the retained memory is noise.
+const shrinkMinCap = 128
+
+// maybeShrinkHeap releases heap capacity after a burst: when the heap has
+// stayed at or under a quarter of its backing capacity for cap(heap)
+// consecutive pops, the backing array is reallocated at half capacity.
+// The hysteresis window scales with the capacity being held, so a
+// workload that oscillates around the threshold never thrashes, while a
+// long steady-state run after a one-off burst returns the peak array to
+// the allocator instead of retaining it forever.
+func (e *Engine) maybeShrinkHeap() {
+	c := cap(e.heap)
+	if c < shrinkMinCap || len(e.heap)*4 > c {
+		e.heapLow = 0
+		return
+	}
+	e.heapLow++
+	if e.heapLow < c {
+		return
+	}
+	e.heapLow = 0
+	ns := make([]event, len(e.heap), c/2)
+	copy(ns, e.heap)
+	e.heap = ns
 }
 
 // peek returns the (at, seq) of the next event to fire, if any.
@@ -241,13 +326,51 @@ func (e *Engine) pop() event {
 			*f = event{} // drop fn/proc references
 			e.fastHead++
 			if e.fastHead == len(e.fast) {
-				e.fast = e.fast[:0]
-				e.fastHead = 0
+				e.resetFast()
 			}
 			return ev
 		}
 	}
 	return e.heapPop()
+}
+
+// resetFast rewinds a drained fast queue, applying the same shrink
+// hysteresis as the heap: the drain length is the cycle's peak occupancy,
+// so sustained quarter-full drains release the burst capacity.
+func (e *Engine) resetFast() {
+	c := cap(e.fast)
+	if c >= shrinkMinCap && len(e.fast)*4 <= c {
+		e.fastLow++
+		if e.fastLow >= c {
+			e.fastLow = 0
+			e.fast = make([]event, 0, c/2)
+			e.fastHead = 0
+			return
+		}
+	} else {
+		e.fastLow = 0
+	}
+	e.fast = e.fast[:0]
+	e.fastHead = 0
+}
+
+// NextAt reports the timestamp of the next queued event, if any — the
+// PDES coordinator's window-planning probe.
+func (e *Engine) NextAt() (Time, bool) { return e.peek() }
+
+// AdvanceTo moves an idle engine's clock forward to t without executing
+// anything. The PDES scheduler uses it once, after per-LP setup, to align
+// every logical process on a common epoch (the serial engine gets the
+// same alignment for free: one clock). Advancing over a pending event or
+// backwards panics — it would reorder causality.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo %v before now %v", t, e.now))
+	}
+	if at, ok := e.peek(); ok && at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo %v over pending event at %v", t, at))
+	}
+	e.now = t
 }
 
 // Proc is a simulated process: a goroutine that runs only when the engine
@@ -281,7 +404,14 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.procIDs++
 	p := &Proc{eng: e, Name: name, ID: e.procIDs, resume: make(chan struct{})}
 	e.live++
+	label := e.Label
 	go func() {
+		if label != "" {
+			// Label the goroutine for CPU profiles: samples of a parallel
+			// cluster run attribute to their logical process.
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("lp", label)))
+		}
 		<-p.resume // wait for the engine to run our start event
 		defer func() {
 			if r := recover(); r != nil {
@@ -338,18 +468,63 @@ func (e *Engine) run(limit Time, cond func() bool) {
 			e.halted = true
 			return
 		}
-		ev := e.pop()
-		e.now = ev.at
-		if ev.proc != nil {
-			e.runProc(ev.proc)
-		} else {
-			ev.fn()
+		e.dispatch(e.pop())
+	}
+}
+
+// dispatch fires one popped event.
+func (e *Engine) dispatch(ev event) {
+	e.now = ev.at
+	e.executed++
+	switch {
+	case ev.proc != nil:
+		e.runProc(ev.proc)
+	case ev.fn != nil:
+		ev.fn()
+	default:
+		ev.del.Deliver()
+	}
+}
+
+// runWindow executes events with timestamps strictly below horizon — one
+// bounded PDES window — and returns whether cond (which, when non-nil, is
+// checked before every event, exactly like RunWhile) stopped it early.
+// Unlike RunUntil it never marks the engine halted: between windows the
+// coordinator injects cross-LP deliveries and host code spawns processes,
+// both of which a halted engine would reject.
+func (e *Engine) runWindow(horizon Time, cond func() bool) bool {
+	for {
+		if cond != nil && !cond() {
+			return true
 		}
+		at, ok := e.peek()
+		if !ok || at >= horizon {
+			return false
+		}
+		e.dispatch(e.pop())
 	}
 }
 
 // Pending reports the number of queued events (useful in tests).
 func (e *Engine) Pending() int { return len(e.heap) + len(e.fast) - e.fastHead }
+
+// Exec is the executive surface shared by the serial Engine and the
+// parallel LPGroup: hosts that only spawn processes and run the
+// simulation to a condition can accept either. LPGroup's Spawn targets
+// its coordinator LP (LP 0), and its RunWhile condition may read only
+// state owned by that LP — see lp.go.
+type Exec interface {
+	Spawn(name string, fn func(p *Proc)) *Proc
+	Run()
+	RunUntil(limit Time)
+	RunWhile(cond func() bool)
+	Now() Time
+}
+
+var (
+	_ Exec = (*Engine)(nil)
+	_ Exec = (*LPGroup)(nil)
+)
 
 // block parks the calling process goroutine and hands control back to the
 // engine. The caller must already have arranged for something to resume it.

@@ -1,0 +1,145 @@
+package simnet
+
+import (
+	"testing"
+
+	"metaupdate/internal/sim"
+)
+
+// lpGroup builds n+1 engines (endpoint id == LP index; LP 0 is the
+// coordinator) wired into a parallel network.
+func lpGroup(t *testing.T, n, workers int, p Params) (*sim.LPGroup, *Network) {
+	t.Helper()
+	lps := make([]*sim.Engine, n+1)
+	for i := range lps {
+		lps[i] = sim.NewEngine()
+	}
+	g, err := sim.NewLPGroup(lps, p.Normalized().Latency, workers)
+	if err != nil {
+		t.Fatalf("NewLPGroup: %v", err)
+	}
+	t.Cleanup(g.Close)
+	return g, NewParallel(g, p)
+}
+
+// TestParallelMatchesSerial runs the same 4-client RPC storm on the serial
+// engine and on LP groups at several worker counts, and requires identical
+// traffic counters and an identical virtual close instant. This is the
+// network-layer half of the byte-identity claim: message timelines are a
+// pure function of the workload, not of how many engines host it.
+func TestParallelMatchesSerial(t *testing.T) {
+	type outcome struct {
+		sent, bytes int64
+		perClient   [4]int64
+		closedAt    sim.Time
+	}
+	// build wires the workload against any network: 4 clients (endpoints
+	// 1..4) each make 25 calls to a server on endpoint 9, which closes
+	// after the 100th reply. Each proc is spawned on its endpoint's host
+	// engine, so the same code runs serial and parallel.
+	run := func(net *Network, exec sim.Exec) outcome {
+		server := net.Endpoint(9)
+		var closedAt sim.Time
+		server.Host().Spawn("server", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				m, ok := server.Recv(p)
+				if !ok {
+					return
+				}
+				server.Reply(m, 32, nil)
+			}
+			closedAt = server.Host().Now()
+			server.Close()
+		})
+		for i := 0; i < 4; i++ {
+			ep := net.Endpoint(i + 1)
+			i := i
+			ep.Host().Spawn("client", func(p *sim.Proc) {
+				for j := 0; j < 25; j++ {
+					ep.Call(p, 9, 100+i*10+j, nil)
+				}
+			})
+		}
+		exec.Run()
+		tot := net.Totals()
+		out := outcome{sent: tot.Sent, bytes: tot.Bytes, closedAt: closedAt}
+		for i := 0; i < 4; i++ {
+			out.perClient[i] = net.Endpoint(i + 1).Sent()
+		}
+		return out
+	}
+
+	eng := sim.NewEngine()
+	want := run(New(eng, DefaultParams()), eng)
+	if want.sent != 200 {
+		t.Fatalf("serial run sent %d messages, want 200", want.sent)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		g, net := lpGroup(t, 9, workers, DefaultParams())
+		if got := run(net, g); got != want {
+			t.Errorf("workers=%d: %+v, serial %+v", workers, got, want)
+		}
+	}
+}
+
+// TestParallelCrossLPLinkCost pins that the link-cost arithmetic is
+// unchanged when sender and receiver live on different LPs: delivery at
+// xmitStart + size/bandwidth + latency, FIFO per link.
+func TestParallelCrossLPLinkCost(t *testing.T) {
+	g, net := lpGroup(t, 2, 2, Params{Latency: 1 * sim.Millisecond, BytesPerSec: 1_000_000})
+	src, dst := net.Endpoint(1), net.Endpoint(2)
+	src.Host().Spawn("send", func(p *sim.Proc) {
+		src.Send(2, 1000, "a")
+		src.Send(2, 1000, "b")
+	})
+	dst.Host().Spawn("rcv", func(p *sim.Proc) {
+		m1, _ := dst.Recv(p)
+		if m1.Payload != "a" || m1.At != 2*sim.Millisecond {
+			t.Errorf("first delivery %v at %v, want a at 2ms", m1.Payload, m1.At)
+		}
+		m2, _ := dst.Recv(p)
+		if m2.Payload != "b" || m2.At != 3*sim.Millisecond || m2.Queued != 1*sim.Millisecond {
+			t.Errorf("second delivery %v at %v queued %v, want b at 3ms/1ms", m2.Payload, m2.At, m2.Queued)
+		}
+	})
+	g.Run()
+	if got := net.Totals().Sent; got != 2 {
+		t.Fatalf("sent %d, want 2", got)
+	}
+}
+
+// TestAllocFreeParallelRPC: the steady-state cross-LP RPC path — pooled
+// call frames, pooled message carriers crossing outboxes, inbox reuse,
+// busy-map bookkeeping — allocates nothing once warm. Two disjoint
+// client/server pairs keep two LPs active per window so the measurement
+// covers the worker-pool path, and the whole cycle runs under
+// AllocsPerRun's single-P regime exactly like the engine-level guards.
+func TestAllocFreeParallelRPC(t *testing.T) {
+	g, net := lpGroup(t, 4, 2, DefaultParams())
+	for pair := 0; pair < 2; pair++ {
+		server := net.Endpoint(1 + pair)
+		client := net.Endpoint(3 + pair)
+		server.Host().Spawn("server", func(p *sim.Proc) {
+			for {
+				m, ok := server.Recv(p)
+				if !ok {
+					return
+				}
+				server.Reply(m, 0, nil)
+			}
+		})
+		sid := 1 + pair
+		client.Host().Spawn("client", func(p *sim.Proc) {
+			for {
+				client.Call(p, sid, 0, nil)
+			}
+		})
+	}
+	window := 50 * sim.Time(net.Params().Latency)
+	cycle := func() { g.RunUntil(g.NowMax() + window) }
+	cycle() // warm: pools, inboxes, outboxes, heap slices
+	cycle()
+	if n := testing.AllocsPerRun(50, cycle); n != 0 {
+		t.Fatalf("steady-state cross-LP RPC allocates %.1f objects per window batch, want 0", n)
+	}
+}

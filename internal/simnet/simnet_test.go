@@ -55,7 +55,7 @@ func TestDistinctLinksDoNotContend(t *testing.T) {
 		if a.At != 2*sim.Millisecond || b.At != 2*sim.Millisecond {
 			t.Errorf("independent links contended: %v, %v", a.At, b.At)
 		}
-		// Same delivery instant: engine (at, seq) order = send order.
+		// Same delivery instant: (at, pri) orders by (source, source seq).
 		if a.From != 1 || b.From != 3 {
 			t.Errorf("same-instant delivery order not send order: %d then %d", a.From, b.From)
 		}
@@ -196,7 +196,8 @@ func TestDeterministicTimeline(t *testing.T) {
 			})
 		}
 		eng.Run()
-		return net.Sent, net.Bytes, eng.Now()
+		tot := net.Totals()
+		return tot.Sent, tot.Bytes, eng.Now()
 	}
 	s1, b1, t1 := run()
 	s2, b2, t2 := run()
