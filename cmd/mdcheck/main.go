@@ -42,12 +42,16 @@ func parseScheme(s string) (fsim.Scheme, error) {
 		return fsim.NoOrder, nil
 	case "nvram":
 		return fsim.NVRAM, nil
+	case "journaling", "journal":
+		return fsim.Journaling, nil
+	case "async", "asyncdurability":
+		return fsim.AsyncDurability, nil
 	}
-	return 0, fmt.Errorf("unknown scheme %q (conventional|flag|chains|softupdates|noorder|nvram)", s)
+	return 0, fmt.Errorf("unknown scheme %q (conventional|flag|chains|softupdates|noorder|nvram|journaling|async)", s)
 }
 
 func main() {
-	schemes := flag.String("schemes", "conventional,flag,chains,softupdates,noorder",
+	schemes := flag.String("schemes", "conventional,flag,chains,softupdates,noorder,journaling,async",
 		"comma-separated ordering schemes to check")
 	files := flag.Int("files", 150, "files created and removed (1 KB each)")
 	workers := flag.Int("workers", 0, "fsck worker goroutines (0: GOMAXPROCS)")

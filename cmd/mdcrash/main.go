@@ -6,6 +6,7 @@
 //	mdcrash -scheme softupdates -at 40s
 //	mdcrash -scheme noorder -at 40s -repair
 //	mdcrash -scheme nvram -at 40s          # replays the NVRAM journal first
+//	mdcrash -scheme journaling -at 40s     # replays the on-disk journal first
 //	mdcrash -scheme softupdates -sweep 10  # ten instants across the run
 package main
 
@@ -34,6 +35,10 @@ func parseScheme(s string) (fsim.Scheme, error) {
 		return fsim.NoOrder, nil
 	case "nvram":
 		return fsim.NVRAM, nil
+	case "journaling", "journal":
+		return fsim.Journaling, nil
+	case "async", "asyncdurability":
+		return fsim.AsyncDurability, nil
 	}
 	return 0, fmt.Errorf("unknown scheme %q", s)
 }
@@ -74,6 +79,10 @@ func crashOnce(scheme fsim.Scheme, at fsim.Time, repair bool) (violations, repai
 		n := sys.NV.Log().Replay(img)
 		fmt.Printf("  replayed %d NVRAM records\n", n)
 	}
+	if scheme == fsim.Journaling {
+		n := fsck.ReplayJournal(img)
+		fmt.Printf("  replayed %d journal transactions\n", n)
+	}
 	rep := fsck.Check(img)
 	v, r := rep.Violations(), rep.Repairables()
 	fmt.Printf("  fsck: %d integrity violations, %d repairable findings "+
@@ -103,7 +112,7 @@ func crashOnce(scheme fsim.Scheme, at fsim.Time, repair bool) (violations, repai
 }
 
 func main() {
-	schemeName := flag.String("scheme", "softupdates", "ordering scheme (conventional|flag|chains|softupdates|noorder|nvram)")
+	schemeName := flag.String("scheme", "softupdates", "ordering scheme (conventional|flag|chains|softupdates|noorder|nvram|journaling|async)")
 	at := flag.Duration("at", 40*time.Second, "virtual crash instant")
 	sweep := flag.Int("sweep", 0, "crash at N instants spread over [at/2, at] instead of once")
 	repair := flag.Bool("repair", false, "run fsck repair on the crashed image")

@@ -44,8 +44,8 @@ func main() {
 	dist := flag.Bool("dist", false, "run the sharded metadata service sweep (per-scheme clusters at 1/4/16 nodes with dynamic splitting)")
 	engineWorkers := flag.Int("engine-workers", 0, "with -dist: run each cluster cell on this many parallel event-engine workers (0/1: serial; output is byte-identical at any count)")
 	opTrace := flag.String("optrace", "", "run the 4-user copy under -optrace-scheme and write a Chrome trace-event JSON of the operation spans to this file")
-	opTraceScheme := flag.String("optrace-scheme", "softupdates", "scheme for -optrace (conventional|flag|chains|softupdates|noorder|nvram)")
-	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram)")
+	opTraceScheme := flag.String("optrace-scheme", "softupdates", "scheme for -optrace (conventional|flag|chains|softupdates|noorder|nvram|journaling|async)")
+	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram|journaling|async)")
 	csvPath := flag.String("csv", "", "with -trace: also write the raw per-request trace as CSV to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
@@ -242,6 +242,10 @@ func parseScheme(name string) (fsim.Scheme, error) {
 		return fsim.NoOrder, nil
 	case "nvram":
 		return fsim.NVRAM, nil
+	case "journaling", "journal":
+		return fsim.Journaling, nil
+	case "async", "asyncdurability":
+		return fsim.AsyncDurability, nil
 	}
 	return 0, fmt.Errorf("unknown scheme %q", name)
 }

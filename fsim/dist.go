@@ -178,7 +178,11 @@ func buildStack(eng *sim.Engine, opt Options, rec *obs.Recorder, p *sim.Proc) (*
 		return nil, err
 	}
 	dsk := disk.New(*opt.DiskParams, opt.DiskBytes)
-	if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: opt.FSBytes, NInodes: opt.NInodes}); err != nil {
+	jf := int32(0)
+	if opt.Scheme == Journaling {
+		jf = opt.JournalFrags
+	}
+	if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: opt.FSBytes, NInodes: opt.NInodes, JournalFrags: jf}); err != nil {
 		return nil, err
 	}
 	dcfg := parts.dcfg

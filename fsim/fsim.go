@@ -85,10 +85,23 @@ const (
 	// the ordering-relevant states journaled to battery-backed RAM and
 	// replayed over the media after a crash.
 	NVRAM
+	// Journaling is the classic write-ahead alternative the paper could not
+	// benchmark: delayed writes everywhere, ordering-relevant states
+	// appended to a wrapping on-disk log region as checksummed begin/commit
+	// transactions, home-location writeback gated on the commit, and
+	// crash-time recovery by journal replay (fsck.ReplayJournal).
+	Journaling
+	// AsyncDurability is the AsyncFS-inspired decoupling: operations become
+	// visible immediately (scheduler-chains write pattern, so crash images
+	// stay rule-consistent) while durability is acknowledged asynchronously
+	// through a notification queue, bounded by an in-flight window with
+	// batched group commit.
+	AsyncDurability
 )
 
-// Schemes lists all five in the paper's presentation order.
-var Schemes = []Scheme{Conventional, SchedulerFlag, SchedulerChains, SoftUpdates, NoOrder}
+// Schemes lists the paper's five in presentation order, then the two
+// post-paper schemes (journaling and decoupled durability).
+var Schemes = []Scheme{Conventional, SchedulerFlag, SchedulerChains, SoftUpdates, NoOrder, Journaling, AsyncDurability}
 
 func (s Scheme) String() string {
 	switch s {
@@ -104,6 +117,10 @@ func (s Scheme) String() string {
 		return "Soft Updates"
 	case NVRAM:
 		return "NVRAM"
+	case Journaling:
+		return "Journaling"
+	case AsyncDurability:
+		return "Async Durability"
 	}
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
@@ -155,6 +172,19 @@ type Options struct {
 	// NVRAMBytes sizes the NVRAM log for Scheme == NVRAM (default 1 MB).
 	NVRAMBytes int
 
+	// JournalFrags sizes the on-disk journal region for Scheme ==
+	// Journaling (default 128 fragments = 128 KB). Other schemes ignore it
+	// and format without a journal, keeping their layouts byte-identical to
+	// pre-journal images.
+	JournalFrags int32
+
+	// AsyncWindow / AsyncInterval tune Scheme == AsyncDurability: the
+	// bounded in-flight window of operations awaiting a durability
+	// notification (default 64) and the group-commit flush period
+	// (default 25 ms).
+	AsyncWindow   int
+	AsyncInterval Duration
+
 	SyncerFraction int // cache sweeps per full pass (default 30)
 	Costs          ffs.Costs
 	DiskParams     *disk.Params
@@ -190,6 +220,17 @@ func (o *Options) setDefaults() {
 			o.AllocInit = true
 		}
 	}
+	if o.Scheme == Journaling && o.JournalFrags == 0 {
+		o.JournalFrags = 128
+	}
+	if o.Scheme == AsyncDurability {
+		if o.AsyncWindow == 0 {
+			o.AsyncWindow = ordering.DefaultAsyncWindow
+		}
+		if o.AsyncInterval == 0 {
+			o.AsyncInterval = ordering.DefaultAsyncInterval
+		}
+	}
 	if o.DiskBytes == 0 {
 		o.DiskBytes = 384 << 20
 	}
@@ -219,6 +260,8 @@ type System struct {
 	FS     *ffs.FS
 	Soft   *core.SoftUpdates // non-nil when Scheme == SoftUpdates
 	NV     *nvram.Scheme     // non-nil when Scheme == NVRAM
+	Jnl    *ordering.Journal // non-nil when Scheme == Journaling
+	Async  *ordering.Async   // non-nil when Scheme == AsyncDurability
 	Obs    *obs.Recorder     // non-nil when Options.Observe
 
 	statsStart sim.Time
@@ -228,10 +271,12 @@ type System struct {
 // ordering instance carries per-mount state and is never shared between
 // nodes).
 type schemeParts struct {
-	ord  ffs.Ordering
-	dcfg dev.Config
-	soft *core.SoftUpdates
-	nvs  *nvram.Scheme
+	ord   ffs.Ordering
+	dcfg  dev.Config
+	soft  *core.SoftUpdates
+	nvs   *nvram.Scheme
+	jnl   *ordering.Journal
+	async *ordering.Async
 }
 
 // schemeSetup instantiates opt.Scheme's ordering and driver config. It
@@ -268,6 +313,28 @@ func schemeSetup(opt *Options) (schemeParts, error) {
 	case NVRAM:
 		sp.nvs = nvram.New(nvram.NewLog(opt.NVRAMBytes))
 		sp.ord = sp.nvs
+	case Journaling:
+		// The journal's begin→commit→home ordering rides the driver's
+		// explicit dependency lists; -CB is forced off so a journaled
+		// buffer's eventual home write carries exactly the committed state
+		// (modifications lock against in-flight writes).
+		opt.CB = false
+		sp.jnl = ordering.NewJournal()
+		sp.ord = sp.jnl
+		sp.dcfg = dev.Config{Mode: dev.ModeChains}
+		if opt.IgnoreOrdering {
+			sp.dcfg = dev.Config{Mode: dev.ModeIgnore}
+		}
+	case AsyncDurability:
+		// Chains ordering underneath; -CB off so Buf.InFlight() is an
+		// accurate durability signal for the notification machinery.
+		opt.CB = false
+		sp.async = ordering.NewAsync(opt.AsyncWindow, opt.AsyncInterval)
+		sp.ord = sp.async
+		sp.dcfg = dev.Config{Mode: dev.ModeChains}
+		if opt.IgnoreOrdering {
+			sp.dcfg = dev.Config{Mode: dev.ModeIgnore}
+		}
 	default:
 		return schemeParts{}, fmt.Errorf("fsim: unknown scheme %v", opt.Scheme)
 	}
@@ -286,7 +353,11 @@ func New(opt Options) (*System, error) {
 
 	eng := sim.NewEngine()
 	dsk := disk.New(*opt.DiskParams, opt.DiskBytes)
-	if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: opt.FSBytes, NInodes: opt.NInodes}); err != nil {
+	jf := int32(0)
+	if opt.Scheme == Journaling {
+		jf = opt.JournalFrags
+	}
+	if _, err := ffs.Format(dsk, ffs.FormatParams{TotalBytes: opt.FSBytes, NInodes: opt.NInodes, JournalFrags: jf}); err != nil {
 		return nil, err
 	}
 	dcfg.MaxRetries = opt.MaxRetries
@@ -305,7 +376,7 @@ func New(opt Options) (*System, error) {
 		SyncerFraction: opt.SyncerFraction,
 	})
 
-	sys := &System{Opt: opt, Eng: eng, CPU: cpu, Disk: dsk, Driver: drv, Cache: c, Soft: soft, NV: nvs}
+	sys := &System{Opt: opt, Eng: eng, CPU: cpu, Disk: dsk, Driver: drv, Cache: c, Soft: soft, NV: nvs, Jnl: parts.jnl, Async: parts.async}
 	if opt.Observe {
 		sys.Obs = obs.New(eng)
 	}

@@ -164,13 +164,16 @@ func TestSchemeStrings(t *testing.T) {
 		fsim.SchedulerFlag:   "Scheduler Flag",
 		fsim.SchedulerChains: "Scheduler Chains",
 		fsim.SoftUpdates:     "Soft Updates",
+		fsim.NVRAM:           "NVRAM",
+		fsim.Journaling:      "Journaling",
+		fsim.AsyncDurability: "Async Durability",
 	}
 	for s, w := range want {
 		if s.String() != w {
 			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
 		}
 	}
-	if len(fsim.Schemes) != 5 {
+	if len(fsim.Schemes) != 7 {
 		t.Errorf("Schemes has %d entries", len(fsim.Schemes))
 	}
 }

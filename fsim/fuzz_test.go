@@ -22,9 +22,14 @@ import (
 //	go test ./fsim -run FuzzCrashConsistency -fuzz FuzzCrashConsistency -fuzztime 60s
 //
 // The fuzzSafeSchemes list excludes NVRAM: its recovery needs a log replay
-// the image enumerator deliberately does not model.
+// the image enumerator deliberately does not model. Journaling's recovery
+// (journal replay over the image) IS modeled, via crashmc's Recover hook;
+// the fuzz options shrink its log region so op sequences of a few dozen
+// wrap it several times. AsyncDurability runs with a tiny in-flight window
+// so the admission throttle is constantly exercised.
 var fuzzSafeSchemes = []fsim.Scheme{
 	fsim.Conventional, fsim.SchedulerFlag, fsim.SchedulerChains, fsim.SoftUpdates,
+	fsim.Journaling, fsim.AsyncDurability,
 }
 
 // fuzzOps interprets the coded op sequence on a 16-name namespace. Every
@@ -70,6 +75,12 @@ func FuzzCrashConsistency(f *testing.F) {
 	f.Add([]byte{0, 8, 16, 1, 9, 3, 11, 3, 5, 2}, uint8(1), uint32(2500), int64(2))
 	f.Add([]byte{0, 0, 4, 12, 1, 17, 2, 10, 5, 0, 1, 2}, uint8(2), uint32(35000), int64(3))
 	f.Add([]byte{0, 1, 5, 0, 1, 5, 2, 2, 3}, uint8(3), uint32(52000), int64(4))
+	// Journaling with a churn long enough to lap the shrunken 24-frag log
+	// region several times (wrap-around replay), crashing mid-flush.
+	f.Add([]byte{0, 8, 16, 24, 1, 9, 17, 25, 2, 10, 0, 8, 16, 24, 1, 9, 3, 11, 2, 10, 18, 0, 8, 5, 0, 1, 2, 3, 4, 0}, uint8(4), uint32(35000), int64(5))
+	// AsyncDurability with more naming ops than its 4-op fuzz window, so the
+	// admission throttle and group commit both fire before the crash.
+	f.Add([]byte{0, 8, 16, 24, 32, 40, 48, 56, 2, 10, 18, 26, 0, 8, 16, 3, 11, 5, 0, 2}, uint8(5), uint32(2500), int64(6))
 
 	f.Fuzz(func(t *testing.T, ops []byte, schemeSel uint8, crashMS uint32, faultSeed int64) {
 		if len(ops) > 48 {
@@ -90,6 +101,12 @@ func FuzzCrashConsistency(f *testing.F) {
 			},
 			MaxRetries: 8,
 		}
+		switch scheme {
+		case fsim.Journaling:
+			opt.JournalFrags = 24 // a handful of txns per lap: wrap constantly
+		case fsim.AsyncDurability:
+			opt.AsyncWindow = 4 // tiny window: the admission throttle fires
+		}
 		sys, err := fsim.New(opt)
 		if err != nil {
 			t.Fatalf("fsim.New(%v): %v", scheme, err)
@@ -101,7 +118,11 @@ func FuzzCrashConsistency(f *testing.F) {
 		if sys.CollectStats().Faults.Errors > 0 {
 			return // durability premise void; nothing to assert
 		}
-		res := rec.Explore(crashmc.Config{Workers: 2, Budget: 400, PerInstant: 64})
+		cfg := crashmc.Config{Workers: 2, Budget: 400, PerInstant: 64}
+		if scheme == fsim.Journaling {
+			cfg.Recover = func(img []byte) { fsck.ReplayJournal(img) }
+		}
+		res := rec.Explore(cfg)
 		if !res.Clean() {
 			v := res.Violations[0]
 			t.Fatalf("%v: %d violating crash images (ops=%v crash=%v seed=%d); first at instant %d: %v",

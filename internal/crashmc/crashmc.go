@@ -216,6 +216,12 @@ type Config struct {
 	// called concurrently from the checker pool and must be safe for
 	// concurrent use with distinct images.
 	ExtraCheck func(fsck.Image) []string
+	// Recover, if set, runs crash-time recovery on each materialized crash
+	// image before the fsck oracle (the Journaling scheme sets it to journal
+	// replay). Setting it forces full checking — recovery rewrites arbitrary
+	// home fragments, so delta replay against a committed baseline is
+	// unsound. It is called concurrently on distinct images.
+	Recover func([]byte)
 	// FullCheck disables incremental checking: every candidate is verified
 	// by a full fsck walk instead of replaying deltas against a cached
 	// per-snapshot Baseline. Reports are identical either way — the

@@ -220,7 +220,7 @@ func (r *Recorder) Explore(cfg Config) *Result {
 			Checked:        pool.checked.Load(),
 			Violating:      pool.violating.Load(),
 			BaselineBuilds: pool.builds.Load(),
-			Incremental:    !cfg.FullCheck,
+			Incremental:    pool.incremental,
 		},
 		Violations: pool.takeViolations(),
 	}
@@ -509,8 +509,10 @@ func newCheckerPool(cfg Config) *checkerPool {
 		pw = 1
 	}
 	return &checkerPool{
-		cfg:         cfg,
-		incremental: !cfg.FullCheck,
+		cfg: cfg,
+		// Recovery (journal replay) rewrites arbitrary home fragments, so
+		// candidates cannot be checked as deltas over a committed baseline.
+		incremental: !cfg.FullCheck && cfg.Recover == nil,
 		passWorkers: pw,
 		baselines:   make(map[uint64]*baselineEntry),
 	}
@@ -568,6 +570,7 @@ func (cp *checkerPool) run(jobs <-chan job) {
 	ov := &overlay{}
 	var dc *fsck.DeltaChecker
 	var dcVer uint64
+	var scratch []byte // per-worker materialized image for cfg.Recover
 	for j := range jobs {
 		ov.load(&j)
 		if cp.incremental {
@@ -592,7 +595,13 @@ func (cp *checkerPool) run(jobs <-chan job) {
 				}
 			}
 		} else {
-			findings := checkImage(ov, cp.passWorkers, cp.cfg.CheckContent, cp.cfg.ExtraCheck)
+			var img fsck.Image = ov
+			if cp.cfg.Recover != nil {
+				scratch = ov.materialize(scratch)
+				cp.cfg.Recover(scratch)
+				img = fsck.Bytes(scratch)
+			}
+			findings := checkImage(img, cp.passWorkers, cp.cfg.CheckContent, cp.cfg.ExtraCheck)
 			if len(findings) != 0 {
 				cp.violating.Add(1)
 				cp.record(j, findings)

@@ -27,6 +27,9 @@ func (r *Recorder) shrink(v Violation, cfg Config, doneOrder []*node) *Repro {
 		if partial != nil {
 			partial.applyPrefix(img, psec)
 		}
+		if cfg.Recover != nil {
+			cfg.Recover(img)
+		}
 	}
 	violates := func(writes []*node, partial *node, psec int) bool {
 		if trials >= cfg.ShrinkTrials {

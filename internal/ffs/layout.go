@@ -14,6 +14,7 @@ import (
 
 	"metaupdate/internal/cache"
 	"metaupdate/internal/disk"
+	"metaupdate/internal/jlog"
 )
 
 // Geometry constants (the paper's ufs used 8 KB blocks / 1 KB fragments).
@@ -50,6 +51,14 @@ type Superblock struct {
 	IBmapStart int32 // inode allocation bitmap
 	FBmapStart int32 // fragment allocation bitmap
 	DataStart  int32 // first allocatable data fragment (block aligned)
+
+	// Journal region (Journaling scheme only; both zero otherwise). The
+	// region sits between the fragment bitmap and the data region, inside
+	// the fragment-bitmap run Format marks allocated, so it is invisible
+	// to allocation and to fsck's bitmap reconciliation. Old images decode
+	// zeros here: no journal.
+	JournalStart int32
+	JournalFrags int32
 }
 
 // InodeFrag returns the fragment holding inode ino, and the byte offset of
@@ -78,6 +87,8 @@ func (sb *Superblock) encode(b []byte) {
 	le.PutUint32(b[16:], uint32(sb.IBmapStart))
 	le.PutUint32(b[20:], uint32(sb.FBmapStart))
 	le.PutUint32(b[24:], uint32(sb.DataStart))
+	le.PutUint32(b[28:], uint32(sb.JournalStart))
+	le.PutUint32(b[32:], uint32(sb.JournalFrags))
 }
 
 func (sb *Superblock) decode(b []byte) error {
@@ -92,6 +103,8 @@ func (sb *Superblock) decode(b []byte) error {
 	sb.IBmapStart = int32(le.Uint32(b[16:]))
 	sb.FBmapStart = int32(le.Uint32(b[20:]))
 	sb.DataStart = int32(le.Uint32(b[24:]))
+	sb.JournalStart = int32(le.Uint32(b[28:]))
+	sb.JournalFrags = int32(le.Uint32(b[32:]))
 	return nil
 }
 
@@ -99,6 +112,11 @@ func (sb *Superblock) decode(b []byte) error {
 type FormatParams struct {
 	TotalBytes int64 // file system size; rounded down to whole blocks
 	NInodes    uint32
+	// JournalFrags reserves an on-disk journal region of that many
+	// fragments between the fragment bitmap and the data region (the
+	// Journaling scheme sets it; 0 = no journal, the layout of every
+	// other scheme).
+	JournalFrags int32
 }
 
 // Format writes a fresh, empty file system directly onto the disk image
@@ -125,6 +143,14 @@ func Format(d *disk.Disk, fp FormatParams) (*Superblock, error) {
 	sb.IBmapStart = sb.InodeStart + inodeFrags
 	sb.FBmapStart = sb.IBmapStart + sb.IBmapFrags()
 	dataStart := sb.FBmapStart + sb.FBmapFrags()
+	if fp.JournalFrags > 0 {
+		if fp.JournalFrags < 4 {
+			return nil, fmt.Errorf("ffs: journal of %d frags is too small", fp.JournalFrags)
+		}
+		sb.JournalStart = dataStart
+		sb.JournalFrags = fp.JournalFrags
+		dataStart += fp.JournalFrags
+	}
 	// Block-align the data region.
 	sb.DataStart = (dataStart + BlockFrags - 1) / BlockFrags * BlockFrags
 	if sb.DataStart >= totalFrags {
@@ -149,6 +175,14 @@ func Format(d *disk.Disk, fp FormatParams) (*Superblock, error) {
 		fbm[f/8] |= 1 << (uint(f) % 8)
 	}
 	d.WriteAt(int64(sb.FBmapStart)*FragSize, fbm)
+
+	// Journal header: an empty log whose first transaction will carry
+	// sequence 1 at region offset 1 (region frag 0 is the header itself).
+	if sb.JournalFrags > 0 {
+		var hdr [jlog.SectorSize]byte
+		jlog.EncodeHeader(hdr[:], jlog.Header{TailSeq: 1, TailOff: 1})
+		d.WriteAt(int64(sb.JournalStart)*FragSize, hdr[:])
+	}
 
 	// Inode bitmap: inodes 0, 1 (reserved) and the root.
 	var ibm [1]byte

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"metaupdate/internal/ffs"
+	"metaupdate/internal/jlog"
 )
 
 // Kind classifies a finding.
@@ -190,7 +191,7 @@ func CheckImage(img Image) *Report {
 
 func decodeSB(img Image, sb *ffs.Superblock) error {
 	le := binary.LittleEndian
-	b := img.Range(0, 28)
+	b := img.Range(0, 36)
 	if le.Uint32(b[0:]) != ffs.Magic {
 		return fmt.Errorf("bad magic %#x", le.Uint32(b[0:]))
 	}
@@ -201,7 +202,24 @@ func decodeSB(img Image, sb *ffs.Superblock) error {
 	sb.IBmapStart = int32(le.Uint32(b[16:]))
 	sb.FBmapStart = int32(le.Uint32(b[20:]))
 	sb.DataStart = int32(le.Uint32(b[24:]))
+	sb.JournalStart = int32(le.Uint32(b[28:]))
+	sb.JournalFrags = int32(le.Uint32(b[32:]))
 	return nil
+}
+
+// ReplayJournal is the Journaling scheme's recovery step: it reads the
+// journal region named by the image's own superblock and applies every
+// committed transaction to its home location, in sequence order. Run it
+// on the crashed image before Check/Repair. Images without a journal
+// (every other scheme, and pre-journal images) are untouched. Returns the
+// number of transactions applied; replay is idempotent — re-running it on
+// a recovered image rewrites the same bytes.
+func ReplayJournal(img []byte) int {
+	var sb ffs.Superblock
+	if err := decodeSB(Bytes(img), &sb); err != nil {
+		return 0
+	}
+	return jlog.Replay(img, sb.JournalStart, sb.JournalFrags)
 }
 
 func (c *checker) readInode(ino ffs.Ino) ffs.Inode {

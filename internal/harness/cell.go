@@ -99,10 +99,11 @@ func (c Cell) Fingerprint() string {
 		dp = fmt.Sprintf("%+v", *o.DiskParams)
 	}
 	return fmt.Sprintf(
-		"k%d|sch%d|sem%d|nr%t|cb%t|exp%t|ai%t|bf%t|ign%t|db%d|fsb%d|ni%d|cby%d|nv%d|sf%d|costs%+v|dp{%s}|flt{%s}|mr%d|rb%d|sp%d|ob%t|u%d|sc%g|rm%t|f5%d|tf%d|cmd%d|ca%d",
+		"k%d|sch%d|sem%d|nr%t|cb%t|exp%t|ai%t|bf%t|ign%t|db%d|fsb%d|ni%d|cby%d|nv%d|jf%d|aw%d|ag%d|sf%d|costs%+v|dp{%s}|flt{%s}|mr%d|rb%d|sp%d|ob%t|u%d|sc%g|rm%t|f5%d|tf%d|cmd%d|ca%d",
 		c.Kind, o.Scheme, o.Sem, o.NR, o.CB, o.Explicit, o.AllocInit,
 		o.BarrierFrees, o.IgnoreOrdering, o.DiskBytes, o.FSBytes, o.NInodes,
-		o.CacheBytes, o.NVRAMBytes, o.SyncerFraction, o.Costs, dp,
+		o.CacheBytes, o.NVRAMBytes, o.JournalFrags, o.AsyncWindow, o.AsyncInterval,
+		o.SyncerFraction, o.Costs, dp,
 		o.Faults.String(), o.MaxRetries, o.RetryBackoff, o.SpareSectors,
 		o.Observe, c.Users, float64(c.Scale), c.Remove, c.Fig5, c.TotalFiles,
 		c.Commands, c.CrashAt) + fmt.Sprintf("|dist{%+v}", c.Dist)

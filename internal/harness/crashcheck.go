@@ -6,6 +6,7 @@ import (
 
 	"metaupdate/fsim"
 	"metaupdate/internal/crashmc"
+	"metaupdate/internal/fsck"
 	"metaupdate/internal/workload"
 )
 
@@ -76,7 +77,13 @@ func CrashCheck(scheme fsim.Scheme, opt CrashCheckOptions) (*crashmc.Result, err
 	if werr != nil {
 		return nil, werr
 	}
-	return rec.Explore(opt.MC), nil
+	cfg := opt.MC
+	if scheme == fsim.Journaling {
+		// Journaling's crash contract holds after recovery, not on the raw
+		// image: replay committed journal transactions before the oracle.
+		cfg.Recover = func(img []byte) { fsck.ReplayJournal(img) }
+	}
+	return rec.Explore(cfg), nil
 }
 
 // CrashCheckRow is one scheme's outcome in a matrix sweep.

@@ -170,6 +170,9 @@ func DistCrashCheck(opt DistCrashCheckOptions) (*DistCrashCheckResult, error) {
 	for i, rec := range recs {
 		cfg := opt.MC
 		cfg.ExtraCheck = chainChecks(distShapeCheck, cfg.ExtraCheck)
+		if opt.Scheme == fsim.Journaling {
+			cfg.Recover = func(img []byte) { fsck.ReplayJournal(img) }
+		}
 		nr := rec.Explore(cfg)
 		res.Nodes = append(res.Nodes, DistNodeCheck{Node: i + 1, Result: nr})
 		res.Checked += nr.Stats.Checked

@@ -76,6 +76,9 @@ func faultRecoveryRun(opt fsim.Options, at sim.Duration) FaultRecovery {
 	if sys.NV != nil {
 		sys.NV.Log().Replay(img)
 	}
+	if sys.Jnl != nil {
+		fsck.ReplayJournal(img)
+	}
 	rec := FaultRecovery{Faults: st.Faults, LostWrites: st.LostWrites}
 	rec.PreRepair = len(fsck.Check(img).Findings)
 	fsck.Repair(img)

@@ -29,6 +29,10 @@ var Table1 = &Exhibit{Name: "table1", Build: func(cfg Config, get func(Cell) Cel
 		}
 	}
 	specs = append(specs, rowSpec{schemeVariant(fsim.NoOrder, false), false})
+	// The post-paper schemes ride along without the alloc-init variant,
+	// like No Order (their write disciplines are alloc-init-agnostic).
+	specs = append(specs, rowSpec{schemeVariant(fsim.Journaling, false), false})
+	specs = append(specs, rowSpec{schemeVariant(fsim.AsyncDurability, false), false})
 
 	results := make([]copyStats, len(specs))
 	var baseline fsim.Duration

@@ -1,0 +1,175 @@
+package jlog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// putTxn lays out one committed transaction at region-relative offset off
+// and returns the offset just past its commit fragment.
+func putTxn(region []byte, off int32, seq uint64, homes []HomeRun, payload []byte) int32 {
+	begin := region[int64(off)*FragSize:]
+	pf := EncodeBegin(begin, seq, homes)
+	copy(region[int64(off+1)*FragSize:], payload)
+	sum := Checksum(begin[:SectorSize], payload)
+	EncodeCommit(region[int64(off+1+pf)*FragSize:], seq, pf, sum)
+	return off + 2 + pf
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	buf := make([]byte, FragSize)
+	want := Header{TailSeq: 0xdeadbeefcafe, TailOff: 37}
+	EncodeHeader(buf, want)
+	got, ok := DecodeHeader(buf)
+	if !ok || got != want {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, want)
+	}
+	buf[9] ^= 1 // flip one tailSeq bit: the CRC must catch it
+	if _, ok := DecodeHeader(buf); ok {
+		t.Fatal("corrupted header decoded as valid")
+	}
+}
+
+func TestBeginRoundTrip(t *testing.T) {
+	buf := make([]byte, FragSize)
+	homes := []HomeRun{{Frag: 44, NFrags: 2}, {Frag: 1000, NFrags: 1}}
+	pf := EncodeBegin(buf, 9, homes)
+	if pf != 3 {
+		t.Fatalf("payload frags = %d, want 3", pf)
+	}
+	seq, gotPF, out, ok := DecodeBegin(buf, nil)
+	if !ok || seq != 9 || gotPF != 3 || len(out) != 2 || out[0] != homes[0] || out[1] != homes[1] {
+		t.Fatalf("round trip: seq=%d pf=%d homes=%v ok=%v", seq, gotPF, out, ok)
+	}
+	if TxnFrags(pf) != 5 {
+		t.Fatalf("TxnFrags(%d) = %d, want 5", pf, TxnFrags(pf))
+	}
+}
+
+// TestTornCommitDiscarded is the torn-write pin for the commit record: a
+// crash may leave any byte prefix of the commit fragment durable, with the
+// remainder holding whatever was on the media before — here, adversarially,
+// a stale but well-formed commit record from a previous journal lap whose
+// checksum bytes all differ from the real one. For every prefix shorter
+// than the full commit record the transaction must be discarded whole: zero
+// transactions replayed and the image untouched. Once the record is
+// complete the transaction applies in full. There is no prefix length that
+// partially applies.
+func TestTornCommitDiscarded(t *testing.T) {
+	const jFrags = 8
+	const homeFrag = 10
+	pristine := make([]byte, 12*FragSize)
+	old := bytes.Repeat([]byte{0xAA}, FragSize)
+	copy(pristine[homeFrag*FragSize:], old)
+	EncodeHeader(pristine, Header{TailSeq: 7, TailOff: 1})
+	payload := make([]byte, FragSize)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	putTxn(pristine[:jFrags*FragSize], 1, 7, []HomeRun{{Frag: homeFrag, NFrags: 1}}, payload)
+	const commitStart = 3 * FragSize // begin at frag 1, payload at 2, commit at 3
+	goodCommit := append([]byte(nil), pristine[commitStart:commitStart+FragSize]...)
+	realSum, _, _, _ := func() (uint32, uint64, int32, bool) {
+		seq, pf, sum, ok := DecodeCommit(goodCommit)
+		return sum, seq, pf, ok
+	}()
+	stale := make([]byte, FragSize)
+	EncodeCommit(stale, 3, 1, ^realSum)
+
+	for k := 0; k <= FragSize; k++ {
+		img := append([]byte(nil), pristine...)
+		copy(img[commitStart:], stale)
+		copy(img[commitStart:], goodCommit[:k])
+		before := append([]byte(nil), img...)
+		n := Replay(img, 0, jFrags)
+		if k >= commitSize {
+			if n != 1 {
+				t.Fatalf("prefix %d: replayed %d txns, want 1", k, n)
+			}
+			if !bytes.Equal(img[homeFrag*FragSize:(homeFrag+1)*FragSize], payload) {
+				t.Fatalf("prefix %d: home fragment not the journaled image", k)
+			}
+		} else {
+			if n != 0 {
+				t.Fatalf("prefix %d: torn commit replayed %d txns, want 0", k, n)
+			}
+			if !bytes.Equal(img, before) {
+				t.Fatalf("prefix %d: replay mutated the image with no committed txn", k)
+			}
+		}
+	}
+}
+
+// TestTornBeginDiscarded: the begin sector is covered by the commit
+// checksum, so a tear anywhere inside it — even past the record's own
+// fields — must discard the transaction. Only the full first sector makes
+// it valid (the fragment's second sector is never read).
+func TestTornBeginDiscarded(t *testing.T) {
+	const jFrags = 8
+	const homeFrag = 10
+	pristine := make([]byte, 12*FragSize)
+	EncodeHeader(pristine, Header{TailSeq: 2, TailOff: 1})
+	payload := bytes.Repeat([]byte{0x5C}, FragSize)
+	putTxn(pristine[:jFrags*FragSize], 1, 2, []HomeRun{{Frag: homeFrag, NFrags: 1}}, payload)
+	const beginStart = 1 * FragSize
+	goodBegin := append([]byte(nil), pristine[beginStart:beginStart+FragSize]...)
+
+	for k := 0; k <= SectorSize; k += 16 {
+		img := append([]byte(nil), pristine...)
+		// Pre-write media content: all ones, so every short prefix leaves a
+		// suffix that breaks the commit's checksum over the begin sector.
+		for i := beginStart; i < beginStart+SectorSize; i++ {
+			img[i] = 0xFF
+		}
+		copy(img[beginStart:], goodBegin[:k])
+		n := Replay(img, 0, jFrags)
+		want := 0
+		if k >= SectorSize {
+			want = 1
+		}
+		if n != want {
+			t.Fatalf("begin prefix %d: replayed %d txns, want %d", k, n, want)
+		}
+	}
+}
+
+// TestReplayWrapScan: a transaction that does not fit before the region end
+// wraps to offset 1; the replay scan must follow it there and apply both in
+// sequence order.
+func TestReplayWrapScan(t *testing.T) {
+	const jFrags = 8
+	const homeFrag = 20
+	img := make([]byte, 24*FragSize)
+	region := img[:jFrags*FragSize]
+	EncodeHeader(img, Header{TailSeq: 5, TailOff: 5})
+	p1 := bytes.Repeat([]byte{0x11}, FragSize)
+	p2 := bytes.Repeat([]byte{0x22}, FragSize)
+	putTxn(region, 5, 5, []HomeRun{{Frag: homeFrag, NFrags: 1}}, p1) // frags 5..7
+	putTxn(region, 1, 6, []HomeRun{{Frag: homeFrag, NFrags: 1}}, p2) // wrapped: frags 1..3
+	if n := Replay(img, 0, jFrags); n != 2 {
+		t.Fatalf("replayed %d txns, want 2 (wrap not followed)", n)
+	}
+	if !bytes.Equal(img[homeFrag*FragSize:(homeFrag+1)*FragSize], p2) {
+		t.Fatal("home fragment does not hold the later transaction's image")
+	}
+}
+
+// TestAllocFreeCommitPath pins the package's contract: every encoder on
+// the transaction commit hot path writes into caller-provided buffers and
+// allocates nothing.
+func TestAllocFreeCommitPath(t *testing.T) {
+	begin := make([]byte, FragSize)
+	commit := make([]byte, FragSize)
+	hdr := make([]byte, FragSize)
+	payload := make([]byte, 2*FragSize)
+	homes := []HomeRun{{Frag: 100, NFrags: 2}}
+	allocs := testing.AllocsPerRun(200, func() {
+		pf := EncodeBegin(begin, 42, homes)
+		sum := Checksum(begin, payload[:int64(pf)*FragSize])
+		EncodeCommit(commit, 42, pf, sum)
+		EncodeHeader(hdr, Header{TailSeq: 42, TailOff: 9})
+	})
+	if allocs != 0 {
+		t.Fatalf("commit encode path allocates %.1f per txn, want 0", allocs)
+	}
+}

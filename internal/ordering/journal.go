@@ -1,0 +1,412 @@
+package ordering
+
+import (
+	"fmt"
+
+	"metaupdate/internal/cache"
+	"metaupdate/internal/dev"
+	"metaupdate/internal/disk"
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/jlog"
+	"metaupdate/internal/sim"
+)
+
+// Journal is the write-ahead journaling scheme — the classic alternative
+// the paper could not benchmark (section 6 discusses it as related work).
+// All file system updates stay delayed writes, but at every point where
+// the ordering rules would demand a sequenced disk write, the scheme
+// instead writes the affected buffer's current image into a wrapping
+// on-disk log region as one transaction:
+//
+//	[ begin | payload (buffer image) | commit ]
+//
+// The commit record carries a CRC32 over the begin sector and payload and
+// depends (dev.ModeChains) on the begin write, the payload write, and the
+// previous commit — so durable commits always form a contiguous sequence
+// prefix, and a torn commit (sector 0 absent) discards the whole
+// transaction on replay. Home-location writeback is ordered behind the
+// transaction's commit: the journaled buffer's next write names the
+// commit request, so a crash image can never hold a home update whose
+// transaction is not replayable.
+//
+// Transactions are retired when their buffer's delayed write reaches the
+// home location; the durable header (region fragment 0) is rewritten
+// synchronously before retired space is reused, exactly like a wrapping
+// jbd-style log. Crash recovery is fsck.ReplayJournal: scan the committed
+// prefix from the durable tail, apply buffer images oldest-first.
+type Journal struct {
+	fs    *ffs.FS
+	drv   *dev.Driver
+	start int32 // journal region start fragment (absolute)
+	frags int32 // journal region size in fragments
+
+	head    int32  // region-relative offset of the next transaction
+	nextSeq uint64 // sequence number of the next transaction
+
+	// Durable header state as last written (Format wrote {1, 1}).
+	durTailSeq uint64
+	durTailOff int32
+
+	// Live (unreclaimed) transactions in sequence order. The front is the
+	// durable tail; entries leave only in reclaim, which rewrites the
+	// header first.
+	txns []*jtxn
+	// recsByFrag indexes live transactions by journaled home fragment:
+	// any completed write of that buffer retires them.
+	recsByFrag map[int64][]*jtxn
+
+	// lastCommit chains each commit behind its predecessor.
+	lastCommit uint64
+
+	// In-flight journal writes in submission order; completed ones are
+	// swept back to the pools at the next transaction.
+	out []outReq
+
+	// Pools: data frames by fragment count, retired txn structs, and the
+	// commit dependency scratch (valid only during Submit).
+	frames   [ffs.BlockFrags + 1][][]byte
+	txnFree  []*jtxn
+	depsBuf  [3]uint64
+	homesBuf [1]jlog.HomeRun
+
+	// Stats.
+	Txns, Wraps, HeaderWrites, Flushes, ForcedRetires int64
+}
+
+// jtxn is one live journal transaction (exactly one buffer image).
+type jtxn struct {
+	seq     uint64
+	off     int32 // region-relative begin fragment
+	size    int32 // begin + payload + commit, fragments
+	frag    int64 // journaled buffer's home fragment
+	retired bool
+}
+
+type outReq struct {
+	req   *dev.Request
+	frame []byte
+}
+
+// minJournalFrags is the smallest usable region: header plus one
+// block-sized transaction plus headroom so placement can always succeed.
+const minJournalFrags = 2*(ffs.BlockFrags+2) + 1
+
+// NewJournal returns the journaling scheme. The file system must be
+// formatted with a journal region (ffs.FormatParams.JournalFrags) and the
+// driver configured with dev.ModeChains.
+func NewJournal() *Journal {
+	return &Journal{recsByFrag: make(map[int64]([]*jtxn))}
+}
+
+// Name implements ffs.Ordering.
+func (o *Journal) Name() string { return "Journaling" }
+
+// Start implements ffs.Ordering.
+func (o *Journal) Start(fs *ffs.FS) {
+	o.fs = fs
+	o.drv = fs.Cache().Driver()
+	sb := fs.Superblock()
+	if sb.JournalFrags < minJournalFrags {
+		panic(fmt.Sprintf("ordering: journaling needs a journal region of at least %d frags (have %d); format with FormatParams.JournalFrags",
+			minJournalFrags, sb.JournalFrags))
+	}
+	o.start = sb.JournalStart
+	o.frags = sb.JournalFrags
+	o.head = 1
+	o.nextSeq = 1
+	o.durTailSeq, o.durTailOff = 1, 1
+}
+
+// Hooks implements ffs.Ordering.
+func (o *Journal) Hooks() cache.Hooks { return journalHooks{o} }
+
+type journalHooks struct{ o *Journal }
+
+func (journalHooks) OnAccess(*cache.Buf)                   {}
+func (journalHooks) BeforeWrite(*cache.Buf, []byte) []byte { return nil }
+func (journalHooks) WriteIssued(*cache.Buf, *dev.Request)  {}
+func (h journalHooks) WriteDone(b *cache.Buf, r *dev.Request) {
+	// The buffer's (at least as new) state is at its home location; its
+	// live transactions no longer need replay.
+	h.o.retireFrag(b.Frag)
+}
+
+// retireFrag marks every live transaction journaling frag as retired.
+func (o *Journal) retireFrag(frag int64) {
+	ts := o.recsByFrag[frag]
+	if len(ts) == 0 {
+		return
+	}
+	for _, t := range ts {
+		t.retired = true
+	}
+	delete(o.recsByFrag, frag)
+}
+
+// stable writes one transaction carrying b's current image and gates b's
+// next home write behind the commit.
+func (o *Journal) stable(p *sim.Proc, b *cache.Buf) {
+	o.fs.Cache().Bdwrite(b)
+	o.sweep()
+
+	payload := int32(b.NFrags())
+	size := jlog.TxnFrags(payload)
+	off := o.ensureSpace(p, size)
+
+	seq := o.nextSeq
+	o.nextSeq++
+
+	begin := o.getFrame(1)
+	data := o.getFrame(int(payload))
+	commit := o.getFrame(1)
+	o.homesBuf[0] = jlog.HomeRun{Frag: b.Frag, NFrags: payload}
+	jlog.EncodeBegin(begin, seq, o.homesBuf[:1])
+	copy(data, b.Data)
+	sum := jlog.Checksum(begin, data)
+	jlog.EncodeCommit(commit, seq, payload, sum)
+
+	beginReq := o.submit(off, begin, nil)
+	dataReq := o.submit(off+1, data, nil)
+	deps := o.depsBuf[:0]
+	deps = append(deps, beginReq.ID, dataReq.ID)
+	if o.lastCommit != 0 {
+		deps = append(deps, o.lastCommit)
+	}
+	commitReq := o.submit(off+1+payload, commit, deps)
+	o.lastCommit = commitReq.ID
+
+	// Home writeback is ordered behind the commit (rule integrity: a home
+	// update on the media implies its transaction replays).
+	addDep(b, commitReq.ID)
+
+	t := o.newTxn()
+	*t = jtxn{seq: seq, off: off, size: size, frag: b.Frag}
+	o.txns = append(o.txns, t)
+	o.recsByFrag[b.Frag] = append(o.recsByFrag[b.Frag], t)
+	o.head = off + size
+	o.Txns++
+}
+
+// submit sends one raw journal write (frame length = whole fragments).
+// deps is valid only during the call (the driver reads DependsOn inside
+// Submit).
+func (o *Journal) submit(regionOff int32, frame []byte, deps []uint64) *dev.Request {
+	r := o.drv.AllocRequest()
+	r.Op = disk.Write
+	r.LBN = int64(o.start+regionOff) * cache.SectorsPerFrag
+	r.Count = len(frame) / disk.SectorSize
+	r.Data = frame
+	r.DependsOn = deps
+	o.drv.Submit(r)
+	o.out = append(o.out, outReq{req: r, frame: frame})
+	return r
+}
+
+// sweep recycles completed journal writes (requests and frames) from the
+// submission-order front.
+func (o *Journal) sweep() {
+	for len(o.out) > 0 && o.out[0].req.Done != nil && o.out[0].req.Done.Fired() {
+		or := o.out[0]
+		o.out[0] = outReq{}
+		o.out = o.out[1:]
+		o.putFrame(or.frame)
+		o.drv.Release(or.req)
+	}
+	if len(o.out) == 0 && cap(o.out) > 64 {
+		o.out = nil
+	}
+}
+
+// ensureSpace returns a region-relative offset where a transaction of
+// `size` fragments fits, flushing the oldest journaled buffers and
+// advancing the durable tail as needed.
+func (o *Journal) ensureSpace(p *sim.Proc, size int32) int32 {
+	if size > o.frags-1 {
+		panic("ordering: journal transaction larger than the region")
+	}
+	for {
+		if off, ok := o.place(size); ok {
+			return off
+		}
+		if o.reclaim(p) {
+			continue
+		}
+		o.flushOldest(p)
+	}
+}
+
+// place finds a spot for `size` fragments between the durable tail and
+// the head, honouring the no-straddle rule (wrap to offset 1).
+func (o *Journal) place(size int32) (int32, bool) {
+	if len(o.txns) == 0 {
+		if o.head+size > o.frags {
+			return 1, true
+		}
+		return o.head, true
+	}
+	tail := o.txns[0].off
+	switch {
+	case o.head == tail: // full
+		return 0, false
+	case o.head > tail:
+		if o.head+size <= o.frags {
+			return o.head, true
+		}
+		if 1+size <= tail {
+			o.Wraps++
+			return 1, true
+		}
+		return 0, false
+	default: // head < tail
+		if o.head+size <= tail {
+			return o.head, true
+		}
+		return 0, false
+	}
+}
+
+// reclaim pops retired transactions off the tail; when any space was
+// freed it rewrites the durable header (synchronously) before returning,
+// so replay never scans reclaimed-and-reused fragments.
+func (o *Journal) reclaim(p *sim.Proc) bool {
+	popped := false
+	for len(o.txns) > 0 && o.txns[0].retired {
+		t := o.txns[0]
+		o.txns[0] = nil
+		o.txns = o.txns[1:]
+		o.txnFree = append(o.txnFree, t)
+		popped = true
+	}
+	if !popped {
+		return false
+	}
+	if len(o.txns) == 0 && cap(o.txns) > 64 {
+		o.txns = nil
+	}
+	tailSeq, tailOff := o.nextSeq, o.head
+	if len(o.txns) > 0 {
+		tailSeq, tailOff = o.txns[0].seq, o.txns[0].off
+	}
+	o.writeHeader(p, tailSeq, tailOff)
+	return true
+}
+
+// writeHeader rewrites the durable journal header and waits for it: space
+// behind the new tail must not be reused before the tail is durable.
+func (o *Journal) writeHeader(p *sim.Proc, tailSeq uint64, tailOff int32) {
+	if tailSeq == o.durTailSeq && tailOff == o.durTailOff {
+		return
+	}
+	frame := o.getFrame(1)
+	jlog.EncodeHeader(frame, jlog.Header{TailSeq: tailSeq, TailOff: tailOff})
+	clear(frame[jlog.SectorSize:])
+	r := o.drv.AllocRequest()
+	r.Op = disk.Write
+	r.LBN = int64(o.start) * cache.SectorsPerFrag
+	r.Count = len(frame) / disk.SectorSize
+	r.Data = frame
+	o.drv.Submit(r)
+	r.Done.Wait(p)
+	o.putFrame(frame)
+	o.drv.Release(r)
+	o.durTailSeq, o.durTailOff = tailSeq, tailOff
+	o.HeaderWrites++
+}
+
+// flushOldest forces the oldest live transaction's buffer to its home
+// location so the transaction retires (journal backpressure).
+func (o *Journal) flushOldest(p *sim.Proc) {
+	t := o.txns[0] // reclaim failed, so the front is live
+	c := o.fs.Cache()
+	b := c.Lookup(t.frag)
+	if b == nil || (!b.Dirty && !b.InFlight()) {
+		// Buffer gone (freed) or its state already durable: the records
+		// are moot.
+		o.retireFrag(t.frag)
+		return
+	}
+	o.Flushes++
+	c.Bdwrite(b)
+	c.Bwrite(p, b) // WriteDone retires the records
+	if !t.retired {
+		// The write failed terminally (faulted disk): the home state is
+		// lost either way, so retire rather than spin. Recovery degrades
+		// to fsck repair, like any lost write.
+		o.ForcedRetires++
+		o.retireFrag(t.frag)
+	}
+}
+
+func (o *Journal) newTxn() *jtxn {
+	if n := len(o.txnFree); n > 0 {
+		t := o.txnFree[n-1]
+		o.txnFree[n-1] = nil
+		o.txnFree = o.txnFree[:n-1]
+		return t
+	}
+	return &jtxn{}
+}
+
+func (o *Journal) getFrame(nfrags int) []byte {
+	if nfrags >= 1 && nfrags < len(o.frames) {
+		if fl := o.frames[nfrags]; len(fl) > 0 {
+			f := fl[len(fl)-1]
+			fl[len(fl)-1] = nil
+			o.frames[nfrags] = fl[:len(fl)-1]
+			return f
+		}
+	}
+	return make([]byte, nfrags*ffs.FragSize)
+}
+
+func (o *Journal) putFrame(f []byte) {
+	nfrags := len(f) / ffs.FragSize
+	if nfrags >= 1 && nfrags < len(o.frames) && len(f) == nfrags*ffs.FragSize {
+		o.frames[nfrags] = append(o.frames[nfrags], f)
+	}
+}
+
+// AllocInit implements ffs.Ordering (journal the initialized block for
+// directories, indirect blocks, and data under allocation-initialization).
+func (o *Journal) AllocInit(p *sim.Proc, rec *ffs.AllocRec) {
+	if rec.IsDir || rec.IsIndir || rec.FS.Config().AllocInit {
+		o.stable(p, rec.NewBuf)
+	} else {
+		rec.FS.Cache().Bdwrite(rec.NewBuf)
+	}
+}
+
+// AllocPtr implements ffs.Ordering: the retargeting owner write is
+// journaled, so replay reinstates the pointer switch before any vacated
+// fragment could be seen with two owners (rule 2).
+func (o *Journal) AllocPtr(p *sim.Proc, rec *ffs.AllocRec) {
+	o.stable(p, rec.OwnerBuf)
+	if rec.MovedFrom != nil {
+		rec.FS.ApplyFree(p, &ffs.FreeRec{FS: rec.FS, Frags: []ffs.FragRun{*rec.MovedFrom}})
+	}
+}
+
+// AddInode implements ffs.Ordering.
+func (o *Journal) AddInode(p *sim.Proc, rec *ffs.LinkRec) { o.stable(p, rec.InoBuf) }
+
+// AddEntry implements ffs.Ordering.
+func (o *Journal) AddEntry(p *sim.Proc, rec *ffs.LinkRec) { o.stable(p, rec.DirBuf) }
+
+// RemoveEntry implements ffs.Ordering.
+func (o *Journal) RemoveEntry(p *sim.Proc, rec *ffs.RemRec) {
+	o.stable(p, rec.DirBuf)
+	rec.FS.FinishRemove(p, rec)
+}
+
+// FreeBlocks implements ffs.Ordering: the cleared owner is journaled
+// before the fragments become reusable (nullify-before-reuse on replay).
+func (o *Journal) FreeBlocks(p *sim.Proc, rec *ffs.FreeRec) {
+	o.stable(p, rec.OwnerBuf)
+	rec.FS.ApplyFree(p, rec)
+}
+
+// MetaUpdate implements ffs.Ordering.
+func (o *Journal) MetaUpdate(p *sim.Proc, b *cache.Buf) { o.fs.Cache().Bdwrite(b) }
+
+// DataWrite implements ffs.Ordering.
+func (o *Journal) DataWrite(p *sim.Proc, b *cache.Buf) { o.fs.Cache().Bdwrite(b) }

@@ -1,0 +1,227 @@
+package ordering_test
+
+import (
+	"fmt"
+	"testing"
+
+	"metaupdate/internal/cache"
+	"metaupdate/internal/dev"
+	"metaupdate/internal/disk"
+	"metaupdate/internal/ffs"
+	"metaupdate/internal/jlog"
+	"metaupdate/internal/ordering"
+	"metaupdate/internal/sim"
+)
+
+// newJournaledRig mounts a file system formatted with a journal region of
+// the given size, under the given scheme, with the chains-mode driver and
+// -CB off (both new schemes' required configuration).
+func newJournaledRig(t *testing.T, ord ffs.Ordering, journalFrags int32) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	dsk := disk.New(disk.HPC2447(), 64<<20)
+	if _, err := ffs.Format(dsk, ffs.FormatParams{
+		TotalBytes: 64 << 20, NInodes: 2048, JournalFrags: journalFrags,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drv := dev.New(eng, dsk, dev.Config{Mode: dev.ModeChains})
+	cpu := &sim.CPU{}
+	c := cache.New(eng, drv, cpu, cache.Config{})
+	r := &rig{eng: eng, dsk: dsk, drv: drv, c: c}
+	var err error
+	eng.Spawn("mount", func(p *sim.Proc) {
+		r.fs, err = ffs.Mount(eng, cpu, c, ord, ffs.Config{}, p)
+	})
+	eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestJournalWrapReclaimAndBackpressure churns a journal region sized for
+// only a handful of transactions: the writer must wrap, the durable header
+// must advance (synchronous rewrites), and — with no syncer retiring home
+// buffers — the log must apply backpressure by forcing checkpoint flushes.
+// Afterwards the on-disk header must decode and point at a live tail.
+func TestJournalWrapReclaimAndBackpressure(t *testing.T) {
+	j := ordering.NewJournal()
+	if j.Name() != "Journaling" {
+		t.Fatalf("scheme name %q", j.Name())
+	}
+	r := newJournaledRig(t, j, 24)
+	r.run(t, func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			name := fmt.Sprintf("f%d", i)
+			ino, err := r.fs.Create(p, ffs.RootIno, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.fs.WriteAt(p, ino, 0, make([]byte, 1024))
+			if i%2 == 0 {
+				if err := r.fs.Unlink(p, ffs.RootIno, name); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		r.fs.Sync(p)
+		r.drv.WaitIdle(p)
+	})
+	if j.Txns == 0 || j.Wraps == 0 {
+		t.Fatalf("churn produced %d txns, %d wraps; the 24-frag region must wrap", j.Txns, j.Wraps)
+	}
+	if j.Flushes == 0 {
+		t.Error("no checkpoint flushes: log backpressure never engaged with no syncer running")
+	}
+	if j.HeaderWrites == 0 {
+		t.Error("durable header never rewritten despite reclaimed space being reused")
+	}
+	sb := r.fs.Superblock()
+	hdr, ok := jlog.DecodeHeader(r.dsk.Image()[int64(sb.JournalStart)*ffs.FragSize:])
+	if !ok {
+		t.Fatal("on-disk journal header does not decode after churn")
+	}
+	// TailOff == JournalFrags is the legal empty-log state with the head
+	// parked at the region end (replay's wrap fallback resumes at 1).
+	if hdr.TailOff < 1 || hdr.TailOff > sb.JournalFrags {
+		t.Fatalf("durable tail offset %d outside region (1..%d)", hdr.TailOff, sb.JournalFrags)
+	}
+}
+
+// TestJournalStartRequiresRegion pins the configuration error: mounting the
+// journaling scheme on a file system formatted without a journal region
+// must panic with a message naming the fix, not corrupt data silently.
+func TestJournalStartRequiresRegion(t *testing.T) {
+	r := newRig(t, ordering.NewChains(), dev.Config{Mode: dev.ModeChains}, cache.Config{}, ffs.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Journal.Start accepted a file system with no journal region")
+		}
+	}()
+	ordering.NewJournal().Start(r.fs)
+}
+
+// TestAsyncNotificationsDrain: every registered naming operation must
+// eventually receive its durability notification once the media catches
+// up, notices must carry the right kinds, and the in-flight window must
+// be empty after a full drain.
+func TestAsyncNotificationsDrain(t *testing.T) {
+	a := ordering.NewAsync(8, 5*sim.Millisecond)
+	r := newJournaledRig(t, a, 0)
+	r.run(t, func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			if _, err := r.fs.Create(p, ffs.RootIno, fmt.Sprintf("f%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if err := r.fs.Unlink(p, ffs.RootIno, fmt.Sprintf("f%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.fs.Sync(p)
+		r.drv.WaitIdle(p)
+	})
+	if a.Registered == 0 {
+		t.Fatal("no operations registered")
+	}
+	if a.Notified != a.Registered {
+		t.Fatalf("%d of %d registered ops notified after full drain", a.Notified, a.Registered)
+	}
+	if got := a.PendingOps(); got != 0 {
+		t.Fatalf("%d ops still in the window after drain", got)
+	}
+	adds, removes := 0, 0
+	for _, n := range a.Notices() {
+		if n.NotifiedAt < n.RegisteredAt {
+			t.Fatalf("notice %d delivered before registration (%v < %v)", n.ID, n.NotifiedAt, n.RegisteredAt)
+		}
+		switch n.Kind {
+		case ordering.NoticeAdd:
+			adds++
+		case ordering.NoticeRemove:
+			removes++
+		}
+	}
+	if adds == 0 || removes == 0 {
+		t.Fatalf("notice kinds missing: %d adds, %d removes", adds, removes)
+	}
+	if got := len(a.DrainNotices()); got != int(a.Notified) {
+		t.Fatalf("DrainNotices returned %d of %d", got, a.Notified)
+	}
+	if len(a.Notices()) != 0 {
+		t.Fatal("notices not cleared by DrainNotices")
+	}
+}
+
+// TestAsyncThrottleEngages: a CPU-speed unlink burst against one directory
+// block with a one-op window and a flusher interval too long to help —
+// every second registration overflows the window, so the admission
+// throttle must persist the oldest waiter synchronously, and the window
+// must never exceed its cap after a registration returns.
+func TestAsyncThrottleEngages(t *testing.T) {
+	a := ordering.NewAsync(1, 500*sim.Millisecond)
+	r := newJournaledRig(t, a, 0)
+	if a.Name() != "Async Durability" {
+		t.Fatalf("scheme name %q", a.Name())
+	}
+	r.run(t, func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			if _, err := r.fs.Create(p, ffs.RootIno, fmt.Sprintf("t%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.fs.Sync(p)
+		base := r.c.SyncWrites
+		for i := 0; i < 8; i++ {
+			if err := r.fs.Unlink(p, ffs.RootIno, fmt.Sprintf("t%d", i)); err != nil {
+				t.Fatal(err)
+			}
+			if got := a.PendingOps(); got > 1 {
+				t.Fatalf("window holds %d ops after registration, cap is 1", got)
+			}
+		}
+		if r.c.SyncWrites == base {
+			t.Error("throttle never issued a synchronous write during the unlink burst")
+		}
+		r.fs.Sync(p)
+		r.drv.WaitIdle(p)
+	})
+	if a.Notified != a.Registered {
+		t.Fatalf("%d of %d ops notified after drain", a.Notified, a.Registered)
+	}
+	if ordering.NoticeAdd.String() != "add" || ordering.NoticeRemove.String() != "remove" {
+		t.Fatal("notice kind strings wrong")
+	}
+}
+
+// TestAsyncWindowBoundsInFlight: with a tiny window the admission throttle
+// must keep the post-registration window at the cap, and the group-commit
+// flusher must have swept at least once under sustained churn.
+func TestAsyncWindowBoundsInFlight(t *testing.T) {
+	const window = 2
+	a := ordering.NewAsync(window, 5*sim.Millisecond)
+	r := newJournaledRig(t, a, 0)
+	r.run(t, func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			if _, err := r.fs.Create(p, ffs.RootIno, fmt.Sprintf("w%d", i)); err != nil {
+				t.Fatal(err)
+			}
+			if got := a.PendingOps(); got > window {
+				t.Fatalf("window holds %d ops after registration, cap is %d", got, window)
+			}
+		}
+		r.fs.Sync(p)
+		r.drv.WaitIdle(p)
+	})
+	if a.PeakPending > window+1 {
+		t.Fatalf("peak pending %d; the throttle admits at most one over the cap transiently", a.PeakPending)
+	}
+	if a.GroupFlushes == 0 {
+		t.Error("group-commit flusher never swept during sustained churn")
+	}
+	if a.Notified != a.Registered {
+		t.Fatalf("%d of %d ops notified", a.Notified, a.Registered)
+	}
+}
