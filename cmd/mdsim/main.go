@@ -42,7 +42,11 @@ func main() {
 	faults := flag.Bool("faults", false, "run the fault-injection recovery sweep (per-scheme crash recovery on a faulty disk)")
 	opstats := flag.Bool("opstats", false, "run the per-scheme operation profile (virtual-time latency/stage breakdown per op type)")
 	dist := flag.Bool("dist", false, "run the sharded metadata service sweep (per-scheme clusters at 1/4/16 nodes with dynamic splitting)")
-	engineWorkers := flag.Int("engine-workers", 0, "with -dist: run each cluster cell on this many parallel event-engine workers (0/1: serial; output is byte-identical at any count)")
+	engineWorkers := flag.Int("engine-workers", 0, "with -dist/-scenario: run each cluster cell on this many parallel event-engine workers (0/1: serial; output is byte-identical at any count)")
+	load := flag.Bool("load", false, "run the open-loop saturation study (per-scheme latency-vs-offered-load curves on the mail scenario)")
+	scenarioName := flag.String("scenario", "", "run one open-loop scenario across schemes at -rate (mail|build|webcache)")
+	rate := flag.Int("rate", 200, "with -scenario: offered load in ops per virtual second")
+	scenarioNodes := flag.Int("scenario-nodes", 0, "with -scenario: also run the scenario against a metadata cluster of this many nodes (> 1)")
 	opTrace := flag.String("optrace", "", "run the 4-user copy under -optrace-scheme and write a Chrome trace-event JSON of the operation spans to this file")
 	opTraceScheme := flag.String("optrace-scheme", "softupdates", "scheme for -optrace (conventional|flag|chains|softupdates|noorder|nvram|journaling|async)")
 	traceScheme := flag.String("trace", "", "run the 4-user copy under this scheme and print the I/O trace analysis (conventional|flag|chains|softupdates|noorder|nvram|journaling|async)")
@@ -138,6 +142,50 @@ func main() {
 		return
 	}
 
+	if *load || *scenarioName != "" {
+		// Like -faults/-opstats/-dist: opt-in studies outside -exp/-list,
+		// so the golden transcript pinning `-exp all` is untouched. All
+		// numbers are virtual-time, so stdout is byte-identical for any -j
+		// and cold or warm memos; -json captures the same tables.
+		runner := harness.NewRunner(*jobs)
+		cfg := harness.DefaultConfig(os.Stdout)
+		cfg.Scale = harness.Scale(*scale)
+		cfg.Runner = runner
+		cfg.EngineWorkers = *engineWorkers
+		var exhibits []*harness.Exhibit
+		if *load {
+			exhibits = append(exhibits, harness.LoadCurveExhibit)
+		}
+		if *scenarioName != "" {
+			exhibits = append(exhibits, harness.ScenarioExhibit(*scenarioName, *rate, *scenarioNodes))
+		}
+		report := harness.Report{Scale: *scale, Jobs: runner.Workers(), CPUs: runtime.NumCPU()}
+		total := time.Now()
+		for _, ex := range exhibits {
+			start := time.Now()
+			tables := ex.Tables(cfg)
+			for _, t := range tables {
+				t.Fprint(os.Stdout)
+			}
+			report.Exhibits = append(report.Exhibits, harness.ExhibitReport{
+				Name: ex.Name, WallSec: time.Since(start).Seconds(), Tables: tables,
+			})
+		}
+		report.WallSec = time.Since(total).Seconds()
+		report.Runner = runner.Stats()
+		report.Cells = runner.CellTimings()
+		st := report.Runner
+		fmt.Fprintf(os.Stderr, "[load: %d cells simulated, %d memo hits, %d workers]\n",
+			st.Executed, st.Hits, st.Workers)
+		if *jsonPath != "" {
+			if err := writeReport(report, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	if *opTrace != "" {
 		if err := runOpTrace(*opTraceScheme, harness.Scale(*scale), *opTrace); err != nil {
 			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
@@ -209,22 +257,28 @@ func main() {
 		st.Executed, st.Hits, st.Workers, st.CellWall, report.WallSec)
 
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
+		if err := writeReport(report, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
 			os.Exit(1)
 		}
-		if err := report.WriteJSON(f); err != nil {
-			f.Close()
-			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "[wrote JSON report to %s]\n", *jsonPath)
 	}
+}
+
+// writeReport writes the machine-readable report and logs the path.
+func writeReport(report harness.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[wrote JSON report to %s]\n", path)
+	return nil
 }
 
 // parseScheme maps a CLI scheme name to the fsim constant.

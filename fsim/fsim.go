@@ -201,6 +201,12 @@ type Options struct {
 	RetryBackoff Duration
 	SpareSectors int
 
+	// OpenLoop configures an open-loop scenario workload (internal/arrival
+	// offered-load process + internal/scenario op stream) for RunOpenLoop.
+	// The zero value is disabled; constructing a System ignores it, so it
+	// is pure workload configuration, not machine configuration.
+	OpenLoop OpenLoopSpec
+
 	// Observe attaches the operation-span recorder (internal/obs): every
 	// FS operation records a virtual-time span with a per-stage latency
 	// breakdown, available as System.Obs. The recorder is a pure observer
@@ -326,9 +332,18 @@ func schemeSetup(opt *Options) (schemeParts, error) {
 			sp.dcfg = dev.Config{Mode: dev.ModeIgnore}
 		}
 	case AsyncDurability:
-		// Chains ordering underneath; -CB off so Buf.InFlight() is an
-		// accurate durability signal for the notification machinery.
-		opt.CB = false
+		// Chains ordering underneath. -CB stays off by default: an
+		// in-flight write then blocks modifications, which keeps the
+		// notification bookkeeping trivially exact. The submit-time
+		// crediting in ordering.Async is -CB-safe (a snapshot write
+		// carries the buffer's state as of submission, so only waiters
+		// registered by then are credited), so an Explicit configuration
+		// may enable CB — the open-loop exhibits do, where the stall of
+		// naming operations against the group-commit flusher's in-flight
+		// writes would otherwise convoy the whole op stream.
+		if !opt.Explicit {
+			opt.CB = false
+		}
 		sp.async = ordering.NewAsync(opt.AsyncWindow, opt.AsyncInterval)
 		sp.ord = sp.async
 		sp.dcfg = dev.Config{Mode: dev.ModeChains}

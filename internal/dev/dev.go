@@ -170,6 +170,13 @@ func conflicts(r, q *Request) bool {
 	return r.overlaps(q) && (r.Op == disk.Write || q.Op == disk.Write)
 }
 
+// SubmitTime returns when the request entered the driver queue. A write's
+// Data carries at least the source buffer's state as of this instant (a
+// later modification either waits for completion or diverts into a -CB
+// snapshot), which is what lets durability-notification schemes credit
+// waiters registered at or before it.
+func (r *Request) SubmitTime() sim.Time { return r.enqueueAt }
+
 // ReadyTime returns when the request became dispatchable (its last
 // ordering predecessor completed); before that instant the request was
 // barrier-blocked. Valid once the request has been submitted and its

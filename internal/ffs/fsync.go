@@ -5,6 +5,23 @@ import (
 	"metaupdate/internal/sim"
 )
 
+// DurabilityWaiter is an optional Ordering capability: a scheme that
+// acknowledges durability asynchronously (group commit with completion
+// notifications) can make Fsync ride its own notification machinery
+// instead of the generic synchronous write-until-clean loop. WaitDurable
+// must return only once the current contents of every listed fragment are
+// on stable media (or have become moot — the buffer was dropped or a
+// later write already carried the state down).
+//
+// The distinction is the whole point of decoupled durability: the generic
+// loop's synchronous writes stall behind whatever dependency chain the
+// driver has accumulated, so one fsync can wait out every pending naming
+// operation; a waiter instead joins the next group-commit sweep, and many
+// concurrent fsyncs are satisfied by the same batched writes.
+type DurabilityWaiter interface {
+	WaitDurable(p *sim.Proc, ino Ino, frags []int64)
+}
+
 // Fsync makes ino's current contents and inode durable before returning —
 // the paper's SYNCIO semantics ("a SYNCIO flag that tells the file system
 // to guarantee that changes are permanent before returning", section 6.1).
@@ -26,6 +43,10 @@ func (fs *FS) Fsync(p *sim.Proc, ino Ino) error {
 	fs.charge(p, fs.cfg.Costs.Syscall)
 	fs.lockInode(p, ino)
 	defer fs.unlockInode(ino)
+
+	if dw, ok := fs.ord.(DurabilityWaiter); ok {
+		return fs.fsyncAwait(p, ino, dw)
+	}
 
 	const maxRounds = 24
 	for round := 0; round < maxRounds; round++ {
@@ -84,5 +105,41 @@ func (fs *FS) Fsync(p *sim.Proc, ino Ino) error {
 			}
 		}
 	}
+	return nil
+}
+
+// fsyncAwait is the DurabilityWaiter fsync path: collect the fragments
+// whose current contents constitute the file's persistence (resident
+// dirty data and indirect blocks, plus the inode-table block) and hand
+// them to the scheme's wait. The inode lock is held by the caller for the
+// duration, so the registered state is exactly the state fsync promises.
+func (fs *FS) fsyncAwait(p *sim.Proc, ino Ino, dw DurabilityWaiter) error {
+	ip, ib, _, err := fs.getInode(p, ino)
+	if err != nil {
+		return err
+	}
+	if !ip.Allocated() {
+		fs.rele(ib)
+		return ErrNotExist
+	}
+	runs, err := fs.collectRuns(p, &ip)
+	if err != nil {
+		fs.rele(ib)
+		return err
+	}
+	var frags []int64
+	for _, run := range runs {
+		if b := fs.cache.Lookup(int64(run.Start)); b != nil && b.Dirty {
+			frags = append(frags, int64(run.Start))
+		}
+	}
+	if ib.Dirty || ib.InFlight() {
+		frags = append(frags, ib.Frag)
+	}
+	fs.rele(ib)
+	if len(frags) == 0 {
+		return nil
+	}
+	dw.WaitDurable(p, ino, frags)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"metaupdate/fsim"
+	"metaupdate/internal/scenario"
 	"metaupdate/internal/sim"
 	"metaupdate/internal/workload"
 )
@@ -36,6 +37,13 @@ const (
 	// (each a full stack built from Opt) behind the inode-range router,
 	// under the deterministic client load, with dynamic splitting.
 	CellDist
+	// CellOpenLoop runs one open-loop scenario point (Opt.OpenLoop names
+	// the stream and the offered-load arrival process) on a single machine
+	// and reports the scenario driver's result.
+	CellOpenLoop
+	// CellOpenLoopDist runs the same open-loop point against the sharded
+	// metadata service (Dist shapes the cluster; Opt.OpenLoop the load).
+	CellOpenLoopDist
 )
 
 // Cell is one self-contained deterministic simulation: a complete system
@@ -84,6 +92,7 @@ type CellResult struct {
 	FaultRec   FaultRecovery        // CellFaultRecovery
 	OpProf     OpProfile            // CellOpProfile
 	Dist       DistResult           // CellDist
+	OpenLoop   scenario.Result      // CellOpenLoop / CellOpenLoopDist
 	Wall       time.Duration        // real execution time of the simulation
 }
 
@@ -106,7 +115,7 @@ func (c Cell) Fingerprint() string {
 		o.SyncerFraction, o.Costs, dp,
 		o.Faults.String(), o.MaxRetries, o.RetryBackoff, o.SpareSectors,
 		o.Observe, c.Users, float64(c.Scale), c.Remove, c.Fig5, c.TotalFiles,
-		c.Commands, c.CrashAt) + fmt.Sprintf("|dist{%+v}", c.Dist)
+		c.Commands, c.CrashAt) + fmt.Sprintf("|dist{%+v}|ol{%s}", c.Dist, o.OpenLoop)
 }
 
 // run executes the cell's simulation from scratch. It is a pure function
@@ -128,6 +137,10 @@ func (c Cell) run() CellResult {
 		return CellResult{OpProf: opProfileRun(c.Opt, c.Users, c.Scale)}
 	case CellDist:
 		return CellResult{Dist: distRun(c.Opt, c.Dist)}
+	case CellOpenLoop:
+		return CellResult{OpenLoop: openLoopRun(c.Opt)}
+	case CellOpenLoopDist:
+		return CellResult{OpenLoop: openLoopDistRun(c.Opt, c.Dist)}
 	}
 	panic(fmt.Sprintf("harness: unknown cell kind %d", c.Kind))
 }

@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+
+	"metaupdate/fsim"
+	"metaupdate/internal/scenario"
+)
+
+// The open-loop exhibits (mdsim -load / -scenario) compare the schemes
+// under offered load instead of closed-loop equilibrium: an arrival
+// process (internal/arrival) dictates when operations are offered, a
+// scenario stream (internal/scenario) dictates what they are, and the
+// driver measures latency from the scheduled arrival instant — so
+// queueing delay that N-users-with-think-time benchmarks self-throttle
+// away is finally visible. Like -faults/-opstats/-dist these are
+// deliberately NOT part of Exhibits / ExperimentNames: the golden
+// transcript pins `-exp all`, and the open loop is a post-paper regime.
+
+// loadRates is the offered-load sweep (arrivals per virtual second).
+var loadRates = []int{25, 50, 100, 200, 400, 800, 1600}
+
+// openLoopOpt is the small machine every load-curve cell runs on: a
+// compact disk and cache so the sweep crosses each scheme's capacity
+// within the cell's op budget.
+func openLoopOpt(scheme fsim.Scheme, scen string, rate, ops, warm int) fsim.Options {
+	opt := fsim.Options{
+		Scheme:     scheme,
+		DiskBytes:  64 << 20,
+		NInodes:    8192,
+		CacheBytes: 8 << 20,
+		OpenLoop: fsim.OpenLoopSpec{
+			Scenario: scen,
+			Arrival:  fsim.ArrivalSpec{Kind: fsim.Poisson, Seed: 1, PerSec: rate},
+			Ops:      ops,
+			Warmup:   warm,
+		},
+	}
+	if scheme == fsim.AsyncDurability {
+		// Async runs the open loop with the block-copy enhancement: its
+		// group-commit flusher keeps hot directory and inode-table
+		// buffers in flight almost continuously, and without -CB every
+		// naming operation would stall against those writes while holding
+		// the inode lock — a convoy that measures the configuration, not
+		// the scheme. Submit-time notification crediting keeps the crash
+		// contract exact under -CB.
+		opt.Explicit, opt.CB = true, true
+	}
+	return opt
+}
+
+// openLoopRun executes one single-machine open-loop cell (pure function
+// of the options, like every cell kind).
+func openLoopRun(opt fsim.Options) scenario.Result {
+	sys := mustSystem(opt)
+	defer sys.Shutdown()
+	res, err := sys.RunOpenLoop()
+	if err != nil {
+		panic(fmt.Sprintf("harness: openloop: %v", err))
+	}
+	return res
+}
+
+// openLoopDistRun executes one open-loop cell against a sharded
+// metadata cluster built from opt (per-node sizes take dist defaults).
+func openLoopDistRun(opt fsim.Options, spec DistSpec) scenario.Result {
+	s, err := fsim.NewDist(fsim.DistOptions{
+		Base:          opt,
+		Nodes:         spec.Nodes,
+		Seed:          spec.Seed,
+		SplitEntries:  spec.SplitEntries,
+		SplitQueue:    spec.SplitQueue,
+		EngineWorkers: spec.EngineWorkers,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: openloop dist: %v", err))
+	}
+	defer s.Shutdown()
+	res, err := s.RunOpenLoop(opt.OpenLoop)
+	if err != nil {
+		panic(fmt.Sprintf("harness: openloop dist: %v", err))
+	}
+	return res
+}
+
+// loadOps sizes one load-curve cell: total arrivals and warmup prefix.
+func loadOps(scale Scale) (ops, warm int) {
+	ops = scale.files(8000)
+	return ops, ops / 8
+}
+
+// LoadCurveExhibit is the saturation study behind mdsim -load: every
+// scheme runs the mail scenario at each offered load of the sweep, and
+// the tables report measured throughput and the latency tail — the
+// paper's claim, pushed to the regime its closed-loop benchmarks cannot
+// reach, is that Conventional's tail diverges at a lower offered load
+// than the delayed-write schemes'.
+var LoadCurveExhibit = &Exhibit{Name: "load", Build: buildLoadCurve}
+
+func buildLoadCurve(cfg Config, get func(Cell) CellResult) []Table {
+	ops, warm := loadOps(cfg.Scale)
+	summary := Table{
+		Title: "Open-loop saturation summary — mail scenario, p99 latency (ms) by offered load (ops/s)",
+		Note:  "latency measured from the scheduled arrival instant; a diverging column is a scheme past saturation",
+	}
+	summary.Columns = []string{"scheme"}
+	for _, rate := range loadRates {
+		summary.Columns = append(summary.Columns, fmt.Sprintf("@%d", rate))
+	}
+	var tables []Table
+	for _, v := range fiveSchemes(nil) {
+		t := Table{
+			Title: fmt.Sprintf("Open-loop load curve — %s, mail scenario, %d ops (%d warmup)", v.name, ops, warm),
+			Note:  "open loop: arrivals keep coming whether or not earlier operations finished",
+			Columns: []string{"offered/s", "measured/s", "p50 ms", "p99 ms", "p999 ms", "max ms",
+				"inflight hwm", "soft errs"},
+		}
+		sumRow := []string{v.name}
+		for _, rate := range loadRates {
+			r := get(Cell{Kind: CellOpenLoop, Opt: openLoopOpt(v.opt.Scheme, "mail", rate, ops, warm)}).OpenLoop
+			t.AddRow(
+				fmt.Sprintf("%d", rate),
+				fmt.Sprintf("%.0f", r.MeasuredPerSec),
+				fmt.Sprintf("%.2f", r.Lat.P50MS),
+				fmt.Sprintf("%.2f", r.Lat.P99MS),
+				fmt.Sprintf("%.2f", r.Lat.P999MS),
+				fmt.Sprintf("%.2f", r.Lat.MaxMS),
+				fmt.Sprintf("%d", r.InFlightHWM),
+				fmt.Sprintf("%d", r.SoftErrs))
+			sumRow = append(sumRow, fmt.Sprintf("%.1f", r.Lat.P99MS))
+		}
+		tables = append(tables, t)
+		summary.AddRow(sumRow...)
+	}
+	return append(tables, summary)
+}
+
+// ScenarioExhibit is the single-rate scenario report behind mdsim
+// -scenario: every scheme runs the named stream at one offered load on
+// the single machine, and — when nodes > 1 — against a sharded cluster
+// (CellOpenLoopDist, the variant the -engine-workers determinism checks
+// exercise).
+func ScenarioExhibit(name string, rate, nodes int) *Exhibit {
+	return &Exhibit{Name: "scenario-" + name, Build: func(cfg Config, get func(Cell) CellResult) []Table {
+		ops, warm := loadOps(cfg.Scale)
+		t := Table{
+			Title: fmt.Sprintf("Open-loop scenario %q — %d ops/s offered, %d ops (%d warmup)", name, rate, ops, warm),
+			Columns: []string{"scheme", "measured/s", "p50 ms", "p99 ms", "p999 ms",
+				"inflight hwm", "soft errs"},
+		}
+		row := func(r scenario.Result, schemeName string) []string {
+			return []string{
+				schemeName,
+				fmt.Sprintf("%.0f", r.MeasuredPerSec),
+				fmt.Sprintf("%.2f", r.Lat.P50MS),
+				fmt.Sprintf("%.2f", r.Lat.P99MS),
+				fmt.Sprintf("%.2f", r.Lat.P999MS),
+				fmt.Sprintf("%d", r.InFlightHWM),
+				fmt.Sprintf("%d", r.SoftErrs),
+			}
+		}
+		for _, v := range fiveSchemes(nil) {
+			r := get(Cell{Kind: CellOpenLoop, Opt: openLoopOpt(v.opt.Scheme, name, rate, ops, warm)}).OpenLoop
+			t.AddRow(row(r, v.name)...)
+		}
+		tables := []Table{t}
+		if nodes > 1 {
+			// The cluster runs a smaller budget: every op is an RPC round
+			// trip, and the comparison point is the shape, not the volume.
+			dops := ops / 4
+			if dops < 1 {
+				dops = 1
+			}
+			dt := Table{
+				Title: fmt.Sprintf("Open-loop scenario %q — %d-node metadata cluster, %d ops/s offered, %d ops",
+					name, nodes, rate, dops),
+				Note:    "metadata-only op mapping (reads/stats/fsyncs become lookups); latencies include the network",
+				Columns: t.Columns,
+			}
+			for _, v := range fiveSchemes(nil) {
+				opt := fsim.Options{
+					Scheme: v.opt.Scheme,
+					OpenLoop: fsim.OpenLoopSpec{
+						Scenario: name,
+						Arrival:  fsim.ArrivalSpec{Kind: fsim.Poisson, Seed: 1, PerSec: rate},
+						Ops:      dops,
+						Warmup:   dops / 8,
+					},
+				}
+				if v.opt.Scheme == fsim.AsyncDurability {
+					// Same -CB configuration as openLoopOpt.
+					opt.Explicit, opt.CB = true, true
+				}
+				r := get(Cell{Kind: CellOpenLoopDist, Opt: opt, Dist: DistSpec{
+					Nodes:         nodes,
+					Seed:          42,
+					EngineWorkers: cfg.EngineWorkers,
+				}}).OpenLoop
+				dt.AddRow(row(r, v.name)...)
+			}
+			tables = append(tables, dt)
+		}
+		return tables
+	}}
+}

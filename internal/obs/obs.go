@@ -268,6 +268,24 @@ type Recorder struct {
 	eng   *sim.Engine
 	spans []SpanRecord
 	free  []*Span
+
+	// countersOnly folds completed spans into the per-op tallies instead
+	// of retaining SpanRecords — bounded memory for open-ended runs (the
+	// open-loop scenario driver can push hundreds of thousands of
+	// operations through one recorder).
+	countersOnly bool
+	tally        [NumOps]OpTally
+}
+
+// OpTally is the bounded-memory per-op-type aggregate the counters-only
+// mode maintains: operation count, summed end-to-end latency, worst case,
+// and the summed per-stage breakdown (the partition invariant survives
+// aggregation: sum(Seg) == Total).
+type OpTally struct {
+	Count int64
+	Total sim.Duration
+	Max   sim.Duration
+	Seg   [NumStages]sim.Duration
 }
 
 // New returns an empty recorder for eng.
@@ -314,20 +332,55 @@ func (r *Recorder) End(p *sim.Proc, sp *Span) {
 	if sp.depth != 0 {
 		panic("obs: span ended with unbalanced stage stack")
 	}
-	r.spans = append(r.spans, SpanRecord{
-		Op: sp.op, Proc: sp.proc, Name: sp.name,
-		Start: sp.start, End: now, Seg: sp.seg,
-	})
+	if r.countersOnly {
+		tl := &r.tally[sp.op]
+		tl.Count++
+		lat := now - sp.start
+		tl.Total += lat
+		if lat > tl.Max {
+			tl.Max = lat
+		}
+		for st, v := range sp.seg {
+			tl.Seg[st] += v
+		}
+	} else {
+		r.spans = append(r.spans, SpanRecord{
+			Op: sp.op, Proc: sp.proc, Name: sp.name,
+			Start: sp.start, End: now, Seg: sp.seg,
+		})
+	}
 	p.Obs = nil
 	r.free = append(r.free, sp)
 }
 
-// Reset discards recorded spans (the start of a measurement window).
+// SetCountersOnly switches the recorder between span retention (the
+// default; Spans/Profile/Chrome export all work) and the bounded-memory
+// tally mode (only Tallies carries data). Switch at a measurement-window
+// boundary; spans already retained stay retained.
+func (r *Recorder) SetCountersOnly(on bool) {
+	if r == nil {
+		return
+	}
+	r.countersOnly = on
+}
+
+// Tallies returns the per-op aggregates accumulated in counters-only mode
+// since the last Reset.
+func (r *Recorder) Tallies() [NumOps]OpTally {
+	if r == nil {
+		return [NumOps]OpTally{}
+	}
+	return r.tally
+}
+
+// Reset discards recorded spans and tallies (the start of a measurement
+// window).
 func (r *Recorder) Reset() {
 	if r == nil {
 		return
 	}
 	r.spans = r.spans[:0]
+	r.tally = [NumOps]OpTally{}
 }
 
 // Spans returns the completed spans in completion order. The slice aliases

@@ -345,3 +345,78 @@ func TestChromeTraceDeterministic(t *testing.T) {
 		t.Error("identical runs produced different Chrome traces")
 	}
 }
+
+// TestCountersOnlyTallies: the bounded-memory mode aggregates per-op
+// counts, total/max latency, and stage segments without retaining span
+// records.
+func TestCountersOnlyTallies(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng)
+	r.SetCountersOnly(true)
+	eng.Spawn("u", func(p *sim.Proc) {
+		for i, d := range []sim.Duration{5, 9, 2} {
+			sp := r.Begin(p, OpCreate)
+			if i == 1 {
+				sp.Push(p, StageCPU)
+				p.Sleep(d)
+				sp.Pop(p)
+			} else {
+				p.Sleep(d)
+			}
+			r.End(p, sp)
+		}
+		sp := r.Begin(p, OpUnlink)
+		p.Sleep(4)
+		r.End(p, sp)
+	})
+	eng.Run()
+	if n := len(r.Spans()); n != 0 {
+		t.Fatalf("counters-only mode retained %d spans, want 0", n)
+	}
+	tl := r.Tallies()
+	cr := tl[OpCreate]
+	if cr.Count != 3 || cr.Total != 16 || cr.Max != 9 {
+		t.Errorf("create tally = %+v, want count 3, total 16, max 9", cr)
+	}
+	if cr.Seg[StageCPU] != 9 || cr.Seg[StageOther] != 7 {
+		t.Errorf("create stage split = cpu %v other %v, want 9/7", cr.Seg[StageCPU], cr.Seg[StageOther])
+	}
+	var segs sim.Duration
+	for _, v := range cr.Seg {
+		segs += v
+	}
+	if segs != cr.Total {
+		t.Errorf("partition invariant broken in tally: sum(Seg) %v != Total %v", segs, cr.Total)
+	}
+	if ul := tl[OpUnlink]; ul.Count != 1 || ul.Total != 4 {
+		t.Errorf("unlink tally = %+v, want count 1, total 4", ul)
+	}
+	r.Reset()
+	if tl := r.Tallies(); tl[OpCreate].Count != 0 {
+		t.Errorf("Reset left tallies behind: %+v", tl[OpCreate])
+	}
+}
+
+// TestCountersOnlySteadyStateAllocFree: with the span pool warm, the
+// counters-only record path allocates nothing per operation — required
+// for open-ended load runs.
+func TestCountersOnlySteadyStateAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng)
+	r.SetCountersOnly(true)
+	done := false
+	eng.Spawn("u", func(p *sim.Proc) {
+		// Warm the pool and the free list.
+		sp := r.Begin(p, OpLookup)
+		p.Sleep(1)
+		r.End(p, sp)
+		if n := testing.AllocsPerRun(200, func() {
+			sp := r.Begin(p, OpLookup)
+			r.End(p, sp)
+		}); n != 0 {
+			t.Errorf("counters-only span record allocates %.1f/op, want 0", n)
+		}
+		done = true
+	})
+	eng.RunWhile(func() bool { return !done })
+}

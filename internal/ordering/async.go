@@ -40,6 +40,7 @@ type Async struct {
 	Interval sim.Duration
 
 	eng *sim.Engine
+	cb  bool // cache runs the block-copy enhancement (snapshot at submit)
 
 	pending []*aop // ops awaiting notification, registration order
 	nextOp  uint64
@@ -62,7 +63,8 @@ type aop struct {
 	kind         NoticeKind
 	ino          ffs.Ino
 	registeredAt sim.Time
-	waiting      int // unsatisfied home fragments
+	waiting      int             // unsatisfied home fragments
+	done         *sim.Completion // fired on notification (fsync waiters)
 }
 
 // NoticeKind tags what kind of naming operation a Notice acknowledges.
@@ -70,13 +72,17 @@ type NoticeKind uint8
 
 // Notice kinds.
 const (
-	NoticeAdd NoticeKind = iota + 1 // entry + inode durable (create/mkdir/link)
-	NoticeRemove
+	NoticeAdd    NoticeKind = iota + 1 // entry + inode durable (create/mkdir/link)
+	NoticeRemove                       // entry removal durable (unlink/rmdir)
+	NoticeFsync                        // a file's registered contents durable (fsync)
 )
 
 func (k NoticeKind) String() string {
-	if k == NoticeAdd {
+	switch k {
+	case NoticeAdd:
 		return "add"
+	case NoticeFsync:
+		return "fsync"
 	}
 	return "remove"
 }
@@ -120,6 +126,7 @@ func (o *Async) Name() string { return "Async Durability" }
 func (o *Async) Start(fs *ffs.FS) {
 	o.Chains.Start(fs)
 	o.eng = fs.Engine()
+	o.cb = fs.Cache().Config().CB
 }
 
 // Hooks implements ffs.Ordering.
@@ -132,34 +139,61 @@ type asyncHooks struct {
 
 func (h asyncHooks) WriteDone(b *cache.Buf, r *dev.Request) {
 	h.chainsHooks.WriteDone(b, r)
-	h.a.fragDurable(b.Frag)
+	// The written data reflects the buffer as of the write's submission
+	// under -CB (snapshot) and as of its completion without it (the
+	// buffer is write-locked while in flight, so any registration up to
+	// completion had its modification applied before submission).
+	asOf := h.a.eng.Now()
+	if h.a.cb {
+		asOf = r.SubmitTime()
+	}
+	h.a.fragDurableAsOf(b.Frag, asOf)
 }
 
-// fragDurable credits every waiting op: with -CB off, modifications lock
-// against in-flight writes, so any write completing after registration
-// carries at least the registered state.
-func (o *Async) fragDurable(frag int64) {
+// fragDurable credits every waiting op: the caller has verified the
+// fragment's current contents are on the media (or moot), so every
+// registered state is covered.
+func (o *Async) fragDurable(frag int64) { o.fragDurableAsOf(frag, o.eng.Now()) }
+
+// fragDurableAsOf credits the ops whose registration predates asOf: the
+// caller asserts the fragment's on-media contents include every
+// modification made before that instant. Later registrants may have
+// modified state the write missed (-CB snapshots at submit), so they
+// stay waiting for a later write.
+func (o *Async) fragDurableAsOf(frag int64, asOf sim.Time) {
 	ops := o.waitByFrag[frag]
 	if len(ops) == 0 {
 		return
 	}
-	delete(o.waitByFrag, frag)
+	keep := ops[:0]
 	for _, op := range ops {
+		if op.registeredAt > asOf {
+			keep = append(keep, op)
+			continue
+		}
 		op.waiting--
 		if op.waiting == 0 {
 			o.notify(op)
 		}
 	}
+	if len(keep) == 0 {
+		delete(o.waitByFrag, frag)
+	} else {
+		o.waitByFrag[frag] = keep
+	}
 	o.compactPending()
 }
 
-// notify queues op's durability notification.
+// notify queues op's durability notification and wakes a blocked waiter.
 func (o *Async) notify(op *aop) {
 	o.notices = append(o.notices, Notice{
 		ID: op.id, Kind: op.kind, Ino: op.ino,
 		RegisteredAt: op.registeredAt, NotifiedAt: o.eng.Now(),
 	})
 	o.Notified++
+	if op.done != nil {
+		op.done.Fire(o.eng)
+	}
 }
 
 // compactPending drops satisfied ops from the window (front-biased; order
@@ -181,14 +215,23 @@ func (o *Async) compactPending() {
 // given home fragments. Full window: the oldest waiting op's buffers are
 // flushed synchronously (admission throttle).
 func (o *Async) register(p *sim.Proc, kind NoticeKind, ino ffs.Ino, bufs ...*cache.Buf) {
-	o.nextOp++
-	op := &aop{id: o.nextOp, kind: kind, ino: ino, registeredAt: o.eng.Now()}
+	var frags []int64
 	for _, b := range bufs {
-		if b == nil {
-			continue
+		if b != nil {
+			frags = append(frags, b.Frag)
 		}
+	}
+	o.admit(p, &aop{kind: kind, ino: ino}, frags)
+}
+
+// admit enters op into the in-flight window, waiting on frags.
+func (o *Async) admit(p *sim.Proc, op *aop, frags []int64) {
+	o.nextOp++
+	op.id = o.nextOp
+	op.registeredAt = o.eng.Now()
+	for _, frag := range frags {
 		op.waiting++
-		o.waitByFrag[b.Frag] = append(o.waitByFrag[b.Frag], op)
+		o.waitByFrag[frag] = append(o.waitByFrag[frag], op)
 	}
 	o.Registered++
 	if op.waiting == 0 {
@@ -240,8 +283,8 @@ func (o *Async) throttle(p *sim.Proc) {
 			continue
 		}
 		c.Bdwrite(b)
-		c.Bwrite(p, b) // WriteDone credits the waiters
-		if _, still := o.waitByFrag[frag]; still {
+		err := c.Bwrite(p, b) // WriteDone credits the waiters
+		if err != nil {
 			// Terminal write failure (faulted disk): deliver the
 			// notification anyway — the data is lost either way and the
 			// window must drain.
@@ -321,3 +364,27 @@ func (o *Async) RemoveEntry(p *sim.Proc, rec *ffs.RemRec) {
 	o.Chains.RemoveEntry(p, rec)
 	o.register(p, NoticeRemove, rec.Ino, rec.DirBuf)
 }
+
+// WaitDurable implements ffs.DurabilityWaiter: fsync under decoupled
+// durability. The file's registered fragments enter the window as one
+// operation (counted against Window like any naming op) and the caller
+// blocks until its notification — the group-commit flusher's next sweeps
+// carry the writes, so concurrent fsyncs share batched I/O instead of
+// each stalling the driver's dependency chains with synchronous writes.
+func (o *Async) WaitDurable(p *sim.Proc, ino ffs.Ino, frags []int64) {
+	c := o.fs.Cache()
+	live := frags[:0]
+	for _, frag := range frags {
+		if b := c.Lookup(frag); b != nil && (b.Dirty || b.InFlight()) {
+			live = append(live, frag)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	done := sim.NewCompletion()
+	o.admit(p, &aop{kind: NoticeFsync, ino: ino, done: done}, live)
+	done.Wait(p)
+}
+
+var _ ffs.DurabilityWaiter = (*Async)(nil)

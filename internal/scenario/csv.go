@@ -1,0 +1,99 @@
+// Op CSV: the trace-replay interchange format. One operation per row, a
+// fixed header, comma-separated plain fields (generated names never
+// contain commas; ReadCSV rejects rows that would be ambiguous). The
+// format is deliberately minimal — it exists so a recorded scenario run
+// can be exported, diffed, edited, and replayed bit-exactly.
+
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+const csvHeader = "kind,dir,name,dir2,name2,size"
+
+// WriteCSV exports ops, one per row, under the canonical header.
+func WriteCSV(w io.Writer, ops []Op) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for i, op := range ops {
+		if strings.ContainsAny(op.Name, ",\n") || strings.ContainsAny(op.Name2, ",\n") {
+			return fmt.Errorf("scenario: op %d: name contains a delimiter", i)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%d,%s,%d\n",
+			op.Kind, op.Dir, op.Name, op.Dir2, op.Name2, op.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses an op CSV. Every malformed input names its line: a
+// replayed trace is an executable artifact, so errors must be locatable.
+func ReadCSV(r io.Reader) ([]Op, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("scenario: empty op CSV (missing header %q)", csvHeader)
+	}
+	if got := strings.TrimRight(sc.Text(), "\r"); got != csvHeader {
+		return nil, fmt.Errorf("scenario: line 1: bad header %q, want %q", got, csvHeader)
+	}
+	var ops []Op
+	line := 1
+	for sc.Scan() {
+		line++
+		row := strings.TrimRight(sc.Text(), "\r")
+		if row == "" {
+			continue
+		}
+		f := strings.Split(row, ",")
+		if len(f) != 6 {
+			return nil, fmt.Errorf("scenario: line %d: %d fields, want 6", line, len(f))
+		}
+		kind, ok := parseKind(f[0])
+		if !ok {
+			return nil, fmt.Errorf("scenario: line %d: unknown op kind %q", line, f[0])
+		}
+		num := func(field, name string, min int) (int, error) {
+			n, err := strconv.Atoi(field)
+			if err != nil {
+				return 0, fmt.Errorf("scenario: line %d: bad %s %q", line, name, field)
+			}
+			if n < min {
+				return 0, fmt.Errorf("scenario: line %d: %s %d out of range", line, name, n)
+			}
+			return n, nil
+		}
+		dir, err := num(f[1], "dir", 0)
+		if err != nil {
+			return nil, err
+		}
+		dir2, err := num(f[3], "dir2", 0)
+		if err != nil {
+			return nil, err
+		}
+		size, err := num(f[5], "size", 0)
+		if err != nil {
+			return nil, err
+		}
+		if f[2] == "" {
+			return nil, fmt.Errorf("scenario: line %d: empty name", line)
+		}
+		if kind == KRename && f[4] == "" {
+			return nil, fmt.Errorf("scenario: line %d: rename without a destination name", line)
+		}
+		ops = append(ops, Op{Kind: kind, Dir: dir, Name: f[2], Dir2: dir2, Name2: f[4], Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}

@@ -1,0 +1,236 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStreamsPure: At is a pure function of the index for every built-in
+// stream — out-of-order and repeated calls reproduce the sequence.
+func TestStreamsPure(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 4096
+		ops := Record(s, n)
+		for _, i := range []int64{n - 1, 0, 1234, 1234, 7} {
+			if got := s.At(i); !reflect.DeepEqual(got, ops[i]) {
+				t.Errorf("%s: At(%d) = %+v out of order, want %+v", name, i, got, ops[i])
+			}
+		}
+	}
+}
+
+// applySequential interprets ops in order against a per-directory name
+// set, returning the first inconsistency (reference to a missing file,
+// create over an existing one, out-of-range directory).
+func applySequential(s Stream, n int) error {
+	dirs := make([]map[string]bool, s.NDirs())
+	for d := range dirs {
+		dirs[d] = make(map[string]bool)
+	}
+	check := func(i int, d int, name string) error {
+		if d < 0 || d >= len(dirs) {
+			return fmt.Errorf("op %d: dir %d out of range [0,%d)", i, d, len(dirs))
+		}
+		if !dirs[d][name] {
+			return fmt.Errorf("op %d: %q missing from dir %d", i, name, d)
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		op := s.At(int64(i))
+		switch op.Kind {
+		case KCreate:
+			if op.Dir < 0 || op.Dir >= len(dirs) {
+				return fmt.Errorf("op %d: dir %d out of range", i, op.Dir)
+			}
+			if dirs[op.Dir][op.Name] {
+				return fmt.Errorf("op %d: create over existing %q in dir %d", i, op.Name, op.Dir)
+			}
+			dirs[op.Dir][op.Name] = true
+		case KRename:
+			if err := check(i, op.Dir, op.Name); err != nil {
+				return err
+			}
+			delete(dirs[op.Dir], op.Name)
+			dirs[op.Dir2][op.Name2] = true
+		case KUnlink:
+			if err := check(i, op.Dir, op.Name); err != nil {
+				return err
+			}
+			delete(dirs[op.Dir], op.Name)
+		case KLookup, KRead, KFsync:
+			if err := check(i, op.Dir, op.Name); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// TestStreamsSelfConsistent: executed sequentially, every built-in
+// stream's operations only reference files that exist — including well
+// past the retention-window wrap, so removals and reuse stay coherent.
+func TestStreamsSelfConsistent(t *testing.T) {
+	lens := map[string]int{
+		"mail":     5 * (mailWindow + 200),
+		"build":    5 * (buildWindow + 200),
+		"webcache": 3 * (webWindow + 200),
+	}
+	for _, name := range Names() {
+		s, err := New(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := applySequential(s, lens[name]); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestStreamBoundedLiveSet: the retention windows keep the live file
+// count — and with it inode demand — bounded, so long runs fit small
+// file systems.
+func TestStreamBoundedLiveSet(t *testing.T) {
+	s, _ := New("mail", 7)
+	dirs := make([]map[string]bool, s.NDirs())
+	for d := range dirs {
+		dirs[d] = make(map[string]bool)
+	}
+	for i := 0; i < 5*(mailWindow*4); i++ {
+		op := s.At(int64(i))
+		switch op.Kind {
+		case KCreate:
+			dirs[op.Dir][op.Name] = true
+		case KRename:
+			delete(dirs[op.Dir], op.Name)
+			dirs[op.Dir2][op.Name2] = true
+		case KUnlink:
+			delete(dirs[op.Dir], op.Name)
+		}
+	}
+	live := 0
+	for _, d := range dirs {
+		live += len(d)
+	}
+	if live > mailWindow+mailDirs {
+		t.Errorf("mail live set %d exceeds window bound %d", live, mailWindow+mailDirs)
+	}
+}
+
+// TestCSVRoundTrip: Record → WriteCSV → ReadCSV → NewReplay reproduces
+// the exact op sequence and directory count.
+func TestCSVRoundTrip(t *testing.T) {
+	s, err := New("mail", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := Record(s, 300)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatalf("CSV round trip altered the op sequence (%d vs %d ops)", len(got), len(ops))
+	}
+	rs, err := NewReplay("mail", got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NDirs() != s.NDirs() {
+		t.Errorf("replay recovered %d dirs, want %d", rs.NDirs(), s.NDirs())
+	}
+	for i := 0; i < len(ops); i++ {
+		if !reflect.DeepEqual(rs.At(int64(i)), ops[i]) {
+			t.Fatalf("replay diverges at op %d", i)
+		}
+	}
+	// Wrap-around.
+	if !reflect.DeepEqual(rs.At(int64(len(ops))), ops[0]) {
+		t.Errorf("replay does not wrap to op 0")
+	}
+}
+
+// TestWriteCSVRejectsDelimiters: a name containing the field or record
+// delimiter cannot be represented and must be refused, not corrupted.
+func TestWriteCSVRejectsDelimiters(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []Op{{Kind: KCreate, Name: "a,b"}})
+	if err == nil || !strings.Contains(err.Error(), "delimiter") {
+		t.Errorf("WriteCSV(comma name) err = %v, want delimiter error", err)
+	}
+}
+
+// TestReadCSVErrors: every malformed-input class is rejected with an
+// error naming the offending line.
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", "empty op CSV"},
+		{"bad header", "op,dir,name\n", "line 1: bad header"},
+		{"few fields", csvHeader + "\ncreate,0,a,0\n", "line 2: 4 fields"},
+		{"many fields", csvHeader + "\ncreate,0,a,0,,4096,extra\n", "line 2: 7 fields"},
+		{"unknown kind", csvHeader + "\nmunge,0,a,0,,0\n", `line 2: unknown op kind "munge"`},
+		{"bad dir", csvHeader + "\ncreate,x,a,0,,0\n", `line 2: bad dir "x"`},
+		{"negative dir", csvHeader + "\ncreate,-1,a,0,,0\n", "line 2: dir -1 out of range"},
+		{"bad dir2", csvHeader + "\nrename,0,a,y,b,0\n", `line 2: bad dir2 "y"`},
+		{"bad size", csvHeader + "\ncreate,0,a,0,,big\n", `line 2: bad size "big"`},
+		{"negative size", csvHeader + "\ncreate,0,a,0,,-5\n", "line 2: size -5 out of range"},
+		{"empty name", csvHeader + "\ncreate,0,,0,,0\n", "line 2: empty name"},
+		{"rename no dest", csvHeader + "\nrename,0,a,1,,0\n", "line 2: rename without a destination"},
+		{"later line", csvHeader + "\ncreate,0,a,0,,0\nunlink,0,a,0,,0\nmunge,0,a,0,,0\n", "line 4: unknown op kind"},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestNewReplayValidation: empty traces and negative directory indices
+// are refused at construction.
+func TestNewReplayValidation(t *testing.T) {
+	if _, err := NewReplay("x", nil); err == nil {
+		t.Error("NewReplay(empty) succeeded, want error")
+	}
+	if _, err := NewReplay("x", []Op{{Kind: KCreate, Dir: -1, Name: "a"}}); err == nil {
+		t.Error("NewReplay(negative dir) succeeded, want error")
+	}
+}
+
+// TestNewUnknownScenario: the factory names the valid choices.
+func TestNewUnknownScenario(t *testing.T) {
+	_, err := New("nfs", 1)
+	if err == nil || !strings.Contains(err.Error(), "mail") {
+		t.Errorf("New(nfs) err = %v, want unknown-scenario error listing choices", err)
+	}
+}
+
+// TestKindStrings: names round-trip through the CSV parser's kind table.
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		got, ok := parseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("parseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := parseKind("Kind(17)"); ok {
+		t.Error("parseKind accepted an out-of-range name")
+	}
+}

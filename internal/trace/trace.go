@@ -35,6 +35,10 @@ type Dist struct {
 	P50MS  float64
 	P90MS  float64
 	P99MS  float64
+	// P999MS is the 99.9th percentile — the open-loop load curves compare
+	// schemes by how early this tail diverges as offered load approaches
+	// capacity.
+	P999MS float64
 	MaxMS  float64
 }
 
@@ -62,6 +66,7 @@ func distOf(vals []float64) Dist {
 		P50MS:  pct(0.50),
 		P90MS:  pct(0.90),
 		P99MS:  pct(0.99),
+		P999MS: pct(0.999),
 		MaxMS:  vals[len(vals)-1],
 	}
 }

@@ -108,17 +108,17 @@ func TestDistOfEdges(t *testing.T) {
 		want Dist
 	}{
 		{"empty", nil, Dist{}},
-		{"single", []float64{7}, Dist{MeanMS: 7, P50MS: 7, P90MS: 7, P99MS: 7, MaxMS: 7}},
+		{"single", []float64{7}, Dist{MeanMS: 7, P50MS: 7, P90MS: 7, P99MS: 7, P999MS: 7, MaxMS: 7}},
 		{"two samples takes lower p50", []float64{10, 20},
-			Dist{MeanMS: 15, P50MS: 10, P90MS: 20, P99MS: 20, MaxMS: 20}},
+			Dist{MeanMS: 15, P50MS: 10, P90MS: 20, P99MS: 20, P999MS: 20, MaxMS: 20}},
 		{"unsorted input", []float64{30, 10, 20},
-			Dist{MeanMS: 20, P50MS: 20, P90MS: 30, P99MS: 30, MaxMS: 30}},
+			Dist{MeanMS: 20, P50MS: 20, P90MS: 30, P99MS: 30, P999MS: 30, MaxMS: 30}},
 		// n=4: p50 rank ceil(2)=2 → the tied 1; p90 rank ceil(3.6)=4 → 9.
 		{"ties at the boundary", []float64{1, 1, 1, 9},
-			Dist{MeanMS: 3, P50MS: 1, P90MS: 9, P99MS: 9, MaxMS: 9}},
+			Dist{MeanMS: 3, P50MS: 1, P90MS: 9, P99MS: 9, P999MS: 9, MaxMS: 9}},
 		// n=10 of 10..100: p50 rank 5 → 50, p90 rank 9 → 90, p99 rank 10.
 		{"deciles", []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
-			Dist{MeanMS: 55, P50MS: 50, P90MS: 90, P99MS: 100, MaxMS: 100}},
+			Dist{MeanMS: 55, P50MS: 50, P90MS: 90, P99MS: 100, P999MS: 100, MaxMS: 100}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
